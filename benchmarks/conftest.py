@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper's evaluation
+(§5).  The quantity of interest is *virtual* time measured inside the
+simulator (latencies in µs, bandwidths in MB/s); pytest-benchmark measures
+the wall-clock cost of running the simulation, which is only useful as a
+regression guard.  Every benchmark therefore:
+
+* runs the simulated experiment once inside ``benchmark.pedantic`` (or a
+  plain call) so ``--benchmark-only`` runs work,
+* attaches the reproduced numbers to ``benchmark.extra_info`` so they appear
+  in the report, and
+* asserts the *shape* the paper reports (who wins, by roughly what factor).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# allow running `pytest benchmarks/` from the repository root without install
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once():
+    return run_once

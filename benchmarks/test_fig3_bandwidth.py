@@ -1,0 +1,103 @@
+"""FIG3 — Figure 3: bandwidth vs message size over Myrinet-2000.
+
+Curves: omniORB-3, omniORB-4, Mico-2.3.7, ORBacus-4.0.5, MPICH-1.1.2,
+Java sockets — all inside the framework over Myrinet-2000 — plus the
+TCP/Ethernet-100 reference curve.
+
+Expected shape (paper): MPI ≈ omniORB ≈ Java sockets plateau around
+240 MB/s (96 % of the Myrinet-2000 hardware bandwidth); Mico ≈ 55 MB/s and
+ORBacus ≈ 63 MB/s because they copy during marshalling; the Ethernet
+reference plateaus around 11 MB/s.
+"""
+
+import pytest
+
+from repro.core import paper_cluster
+from repro.bench import (
+    CorbaTransport,
+    JavaSocketTransport,
+    MpiTransport,
+    VLinkTransport,
+    bandwidth_sweep,
+)
+from repro.bench.report import format_series
+from repro.middleware.corba import MICO_2_3_7, OMNIORB_3, OMNIORB_4, ORBACUS_4_0_5
+from repro.middleware.mpi import MPICH_1_1_2
+
+#: a compact version of the Figure 3 x-axis (32 B → 1 MB).
+SIZES = [32, 1024, 16384, 65536, 262144, 1000000]
+
+
+def _sweep(make_transport, myrinet=True):
+    fw, group = paper_cluster(2, myrinet=myrinet)
+    transport = make_transport(fw, group)
+    return bandwidth_sweep(transport, SIZES, repeats=1, max_time=600)
+
+
+CURVES = {
+    "omniORB-3.0.2/Myrinet": lambda: _sweep(lambda fw, g: CorbaTransport(fw, g, profile=OMNIORB_3)),
+    "omniORB-4.0.0/Myrinet": lambda: _sweep(lambda fw, g: CorbaTransport(fw, g, profile=OMNIORB_4)),
+    "Mico-2.3.7/Myrinet": lambda: _sweep(lambda fw, g: CorbaTransport(fw, g, profile=MICO_2_3_7)),
+    "ORBacus-4.0.5/Myrinet": lambda: _sweep(lambda fw, g: CorbaTransport(fw, g, profile=ORBACUS_4_0_5)),
+    "MPICH-1.1.2/Myrinet": lambda: _sweep(lambda fw, g: MpiTransport(fw, g, profile=MPICH_1_1_2)),
+    "Java socket/Myrinet": lambda: _sweep(lambda fw, g: JavaSocketTransport(fw, g)),
+    "TCP/Ethernet-100 (reference)": lambda: _sweep(
+        lambda fw, g: VLinkTransport(fw, g, method="sysio"), myrinet=False
+    ),
+}
+
+#: paper plateaus in MB/s (read off Figure 3 / the §5 text).
+PAPER_PLATEAUS = {
+    "omniORB-3.0.2/Myrinet": 238.4,
+    "omniORB-4.0.0/Myrinet": 235.8,
+    "Mico-2.3.7/Myrinet": 55.0,
+    "ORBacus-4.0.5/Myrinet": 63.0,
+    "MPICH-1.1.2/Myrinet": 238.7,
+    "Java socket/Myrinet": 237.9,
+    "TCP/Ethernet-100 (reference)": 11.2,
+}
+
+
+@pytest.mark.parametrize("curve", sorted(CURVES))
+def test_fig3_curve(benchmark, curve):
+    results = benchmark.pedantic(CURVES[curve], rounds=1, iterations=1, warmup_rounds=0)
+    plateau = results[max(results)] / 1e6
+    benchmark.extra_info["curve"] = curve
+    benchmark.extra_info["plateau_MBps"] = round(plateau, 1)
+    benchmark.extra_info["paper_MBps"] = PAPER_PLATEAUS[curve]
+    benchmark.extra_info["series_MBps"] = {s: round(v / 1e6, 2) for s, v in results.items()}
+    # shape check: within 15 % of the paper's plateau
+    assert plateau == pytest.approx(PAPER_PLATEAUS[curve], rel=0.15)
+    # bandwidth must grow with message size (the S-curve of Figure 3)
+    assert results[32] < results[16384] < results[max(results)]
+
+
+def test_fig3_relative_ordering(benchmark):
+    """The headline shape: zero-copy middleware ≈ wire speed, copying ORBs
+    collapse, Ethernet reference far below everything."""
+
+    def measure():
+        return {
+            name: CURVES[name]()[max(SIZES)] / 1e6
+            for name in (
+                "MPICH-1.1.2/Myrinet",
+                "omniORB-4.0.0/Myrinet",
+                "Mico-2.3.7/Myrinet",
+                "ORBacus-4.0.5/Myrinet",
+                "TCP/Ethernet-100 (reference)",
+            )
+        }
+
+    plateaus = benchmark.pedantic(measure, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["plateaus_MBps"] = {k: round(v, 1) for k, v in plateaus.items()}
+    assert plateaus["MPICH-1.1.2/Myrinet"] > 4 * plateaus["Mico-2.3.7/Myrinet"]
+    assert plateaus["omniORB-4.0.0/Myrinet"] > 3 * plateaus["ORBacus-4.0.5/Myrinet"]
+    assert plateaus["ORBacus-4.0.5/Myrinet"] > plateaus["Mico-2.3.7/Myrinet"]
+    assert plateaus["Mico-2.3.7/Myrinet"] > plateaus["TCP/Ethernet-100 (reference)"]
+
+
+def test_fig3_render_series():
+    """Render the full figure as text (what EXPERIMENTS.md embeds)."""
+    series = {name.split("/")[0]: fn() for name, fn in list(CURVES.items())[:3]}
+    text = format_series("Figure 3 — bandwidth over Myrinet-2000", series)
+    assert "msg size" in text and "omniORB-3.0.2" in text

@@ -1,0 +1,54 @@
+"""EXP-PADICO-OVERHEAD — §5 text: "PadicoTM overhead is negligible: MPICH in
+PadicoTM over Myrinet-2000 gets roughly the same performance as a standalone
+implementation of MPICH over Myrinet-2000."
+
+The same MPI library runs (a) through the full framework (virtual Madeleine
+personality → Circuit → MadIO → NetAccess → Madeleine) and (b) bound
+straight to a raw Madeleine channel; the latency and bandwidth differences
+are the framework's overhead.
+"""
+
+import pytest
+
+from repro.core import paper_cluster
+from repro.bench import MpiTransport, measure_bandwidth, measure_latency
+from repro.middleware.mpi import MPICH_1_2_5
+
+
+def _measure(standalone: bool):
+    fw, group = paper_cluster(2)
+    latency = measure_latency(
+        MpiTransport(fw, group, profile=MPICH_1_2_5, standalone=standalone),
+        size=8, iterations=15, max_time=120,
+    )
+    fw2, group2 = paper_cluster(2)
+    bandwidth = measure_bandwidth(
+        MpiTransport(fw2, group2, profile=MPICH_1_2_5, standalone=standalone),
+        size=1_000_000, repeats=2, max_time=120,
+    )
+    return latency * 1e6, bandwidth / 1e6
+
+
+def test_mpich_inside_framework_vs_standalone(benchmark):
+    def measure():
+        inside = _measure(standalone=False)
+        alone = _measure(standalone=True)
+        return inside, alone
+
+    (lat_in, bw_in), (lat_alone, bw_alone) = benchmark.pedantic(
+        measure, rounds=1, iterations=1, warmup_rounds=0
+    )
+    benchmark.extra_info.update(
+        {
+            "framework_latency_us": round(lat_in, 2),
+            "standalone_latency_us": round(lat_alone, 2),
+            "latency_overhead_us": round(lat_in - lat_alone, 3),
+            "framework_bandwidth_MBps": round(bw_in, 1),
+            "standalone_bandwidth_MBps": round(bw_alone, 1),
+            "paper_claim": "roughly the same performance",
+        }
+    )
+    # negligible overhead: < 1 us of latency, < 2 % of bandwidth
+    assert lat_in >= lat_alone
+    assert lat_in - lat_alone < 1.0
+    assert bw_alone - bw_in < 0.02 * bw_alone + 1.0

@@ -1,0 +1,89 @@
+"""TAB1 — Table 1: one-way latency and maximum bandwidth over Myrinet-2000.
+
+Paper values:
+
+=================  ============== =====================
+API / middleware   latency (µs)    max bandwidth (MB/s)
+=================  ============== =====================
+Circuit            8.4             240
+VLink              10.2            239
+MPICH-1.2.5        12.06           238.7
+omniORB 3          20.3            238.4
+omniORB 4          18.4            235.8
+Java sockets       40              237.9
+=================  ============== =====================
+
+(The §5 text adds Mico at 63 µs / 55 MB/s and ORBacus at 54 µs / 63 MB/s.)
+"""
+
+import pytest
+
+from repro.core import paper_cluster
+from repro.bench import (
+    CircuitTransport,
+    CorbaTransport,
+    JavaSocketTransport,
+    MpiTransport,
+    VLinkTransport,
+    measure_bandwidth,
+    measure_latency,
+)
+from repro.middleware.corba import MICO_2_3_7, OMNIORB_3, OMNIORB_4, ORBACUS_4_0_5
+from repro.middleware.mpi import MPICH_1_2_5
+
+ROWS = {
+    "Circuit": (lambda fw, g: CircuitTransport(fw, g), 8.4, 240.0),
+    "VLink": (lambda fw, g: VLinkTransport(fw, g), 10.2, 239.0),
+    "MPICH-1.2.5": (lambda fw, g: MpiTransport(fw, g, profile=MPICH_1_2_5), 12.06, 238.7),
+    "omniORB 3": (lambda fw, g: CorbaTransport(fw, g, profile=OMNIORB_3), 20.3, 238.4),
+    "omniORB 4": (lambda fw, g: CorbaTransport(fw, g, profile=OMNIORB_4), 18.4, 235.8),
+    "Java sockets": (lambda fw, g: JavaSocketTransport(fw, g), 40.0, 237.9),
+    "Mico-2.3.7": (lambda fw, g: CorbaTransport(fw, g, profile=MICO_2_3_7), 63.0, 55.0),
+    "ORBacus-4.0.5": (lambda fw, g: CorbaTransport(fw, g, profile=ORBACUS_4_0_5), 54.0, 63.0),
+}
+
+
+def _measure(maker):
+    fw, group = paper_cluster(2)
+    latency = measure_latency(maker(fw, group), size=8, iterations=15, max_time=120)
+    fw2, group2 = paper_cluster(2)
+    bandwidth = measure_bandwidth(maker(fw2, group2), size=1_000_000, repeats=2, max_time=120)
+    return latency * 1e6, bandwidth / 1e6
+
+
+@pytest.mark.parametrize("row", sorted(ROWS))
+def test_table1_row(benchmark, row):
+    maker, paper_lat, paper_bw = ROWS[row]
+    latency_us, bandwidth_MBps = benchmark.pedantic(
+        lambda: _measure(maker), rounds=1, iterations=1, warmup_rounds=0
+    )
+    benchmark.extra_info.update(
+        {
+            "row": row,
+            "latency_us": round(latency_us, 2),
+            "paper_latency_us": paper_lat,
+            "bandwidth_MBps": round(bandwidth_MBps, 1),
+            "paper_bandwidth_MBps": paper_bw,
+        }
+    )
+    assert latency_us == pytest.approx(paper_lat, rel=0.12)
+    assert bandwidth_MBps == pytest.approx(paper_bw, rel=0.10)
+
+
+def test_table1_latency_ordering(benchmark):
+    """The ordering the paper's Table 1 exhibits."""
+
+    def measure():
+        return {name: _measure(ROWS[name][0])[0] for name in
+                ("Circuit", "VLink", "MPICH-1.2.5", "omniORB 4", "omniORB 3", "Java sockets")}
+
+    lat = benchmark.pedantic(measure, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["latencies_us"] = {k: round(v, 2) for k, v in lat.items()}
+    assert (
+        lat["Circuit"]
+        < lat["VLink"]
+        < lat["MPICH-1.2.5"]
+        < lat["omniORB 4"]
+        < lat["omniORB 3"]
+        < lat["Java sockets"]
+    )

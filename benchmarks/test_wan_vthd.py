@@ -1,0 +1,94 @@
+"""EXP-WAN — §5 text: the VTHD wide-area experiments.
+
+"We have run test on VTHD, a French experimental high-bandwidth WAN.  All
+middleware systems get roughly the same performance, namely a bandwidth of
+9 MB/s and a 8 ms latency [...] When activating Parallel Streams, the
+bandwidth goes up to 12 MB/s which is the maximum possible given the fact
+that each node is connected to VTHD through Ethernet-100."
+"""
+
+import pytest
+
+from repro.core import paper_wan_pair
+from repro.methods import register_method_drivers
+from repro.bench import CorbaTransport, MpiTransport, SoapTransport, measure_latency
+from repro.middleware.corba import OMNIORB_4
+
+TRANSFER = 12_000_000
+
+
+def _wan():
+    fw, group = paper_wan_pair()
+    for host in group:
+        register_method_drivers(fw.node(host.name), streams=4)
+    return fw, group
+
+
+def _bulk_bandwidth(method: str) -> float:
+    """MB/s of a bulk transfer over the WAN with the given VLink method."""
+    fw, group = _wan()
+    n0, n1 = fw.node(group[0].name), fw.node(group[1].name)
+    listener = n1.vlink_listen(9100)
+
+    def scenario():
+        accept_op = listener.accept()
+        client = yield n0.vlink_connect(n1, 9100, method=method)
+        server = yield accept_op
+        t0 = fw.sim.now
+        sent = 0
+        while sent < TRANSFER:
+            n = min(512 * 1024, TRANSFER - sent)
+            client.write(b"x" * n)
+            sent += n
+        data = yield server.read(TRANSFER)
+        assert len(data) == TRANSFER
+        return TRANSFER / (fw.sim.now - t0) / 1e6
+
+    return fw.sim.run(until=fw.sim.process(scenario()), max_time=600)
+
+
+def test_wan_single_stream_vs_parallel_streams(benchmark):
+    def measure():
+        return {"single": _bulk_bandwidth("sysio"), "parallel": _bulk_bandwidth("parallel_streams")}
+
+    r = benchmark.pedantic(measure, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info.update(
+        {
+            "single_stream_MBps": round(r["single"], 2),
+            "parallel_streams_MBps": round(r["parallel"], 2),
+            "paper_single_MBps": 9.0,
+            "paper_parallel_MBps": 12.0,
+        }
+    )
+    assert r["single"] == pytest.approx(9.0, rel=0.25)
+    assert r["parallel"] == pytest.approx(12.0, rel=0.15)
+    assert r["parallel"] > r["single"]
+    assert r["parallel"] < 12.6  # capped by the Ethernet-100 access link
+
+
+def test_wan_every_middleware_gets_the_same_latency(benchmark):
+    """Paper: "On the WAN, every middleware systems get roughly the same
+    performance since software overhead is negligible compared to the
+    network speed."""
+
+    def measure():
+        results = {}
+        for name, maker in {
+            "MPI": lambda fw, g: MpiTransport(fw, g),
+            "omniORB-4": lambda fw, g: CorbaTransport(fw, g, profile=OMNIORB_4),
+            "gSOAP": lambda fw, g: SoapTransport(fw, g),
+        }.items():
+            # plain single-socket deployment: this experiment is about every
+            # middleware seeing the same 8 ms WAN latency, not about the
+            # WAN-specific methods
+            fw, group = paper_wan_pair()
+            results[name] = measure_latency(maker(fw, group), size=64, iterations=3, max_time=600) * 1e3
+        return results
+
+    latencies_ms = benchmark.pedantic(measure, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["latencies_ms"] = {k: round(v, 2) for k, v in latencies_ms.items()}
+    benchmark.extra_info["paper_latency_ms"] = 8.0
+    for value in latencies_ms.values():
+        assert value == pytest.approx(8.0, rel=0.35)
+    spread = max(latencies_ms.values()) - min(latencies_ms.values())
+    assert spread < 2.0  # "roughly the same" — software differences are lost in the 8 ms

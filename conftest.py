@@ -1,0 +1,14 @@
+"""Repository-level pytest configuration.
+
+Ensures ``src/`` is importable even when the package has not been installed
+(e.g. on a fully offline machine where ``pip install -e .`` cannot build a
+PEP-517 editable wheel).  When the package *is* installed, the editable /
+develop installation takes precedence and this is a no-op.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

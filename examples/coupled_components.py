@@ -1,0 +1,98 @@
+"""Coupled parallel components across a grid (the §2.1 scenario).
+
+Two clusters on different sites, each running an MPI "simulation component"
+internally, are coupled through a CORBA interface across the VTHD WAN —
+"a MPI-based component could be connected to a PVM-based component": here
+cluster A runs MPI, cluster B runs PVM, and the coupler is CORBA.
+
+Run with:  python examples/coupled_components.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np
+
+from repro.core import two_cluster_grid
+from repro.middleware.corba import Interface, ORB, OMNIORB_4, Operation, Servant, TC_DOUBLE_SEQ
+from repro.middleware.mpi import MpiRuntime, SUM
+from repro.middleware.pvm import PvmTask
+
+COUPLER_IDL = Interface(
+    "IDL:repro/Coupler:1.0",
+    [Operation("exchange_boundary", params=(("values", TC_DOUBLE_SEQ),), result=TC_DOUBLE_SEQ)],
+)
+
+
+class BoundaryCoupler(Servant):
+    """Lives on cluster B's head node: receives A's boundary, returns B's."""
+
+    def __init__(self):
+        self.last_received = None
+        self.to_return = np.zeros(8)
+
+    def exchange_boundary(self, values):
+        self.last_received = np.asarray(values)
+        return self.to_return
+
+
+def main():
+    fw, cluster_a, cluster_b, grid = two_cluster_grid(2)
+
+    # --- cluster A: an MPI simulation component -------------------------------
+    comms_a = [MpiRuntime(fw.node(h.name), cluster_a, channel_name="simA").comm_world
+               for h in cluster_a]
+
+    # --- cluster B: a PVM analysis component -----------------------------------
+    pvm_b = [PvmTask(fw.node(h.name), cluster_b, circuit_name="simB") for h in cluster_b]
+
+    # --- the CORBA coupler between the two, across the WAN ---------------------
+    coupler = BoundaryCoupler()
+    coupler.to_return = np.linspace(0.0, 1.0, 8)
+    server_orb = ORB(fw.node(cluster_b[0].name), OMNIORB_4)
+    client_orb = ORB(fw.node(cluster_a[0].name), OMNIORB_4)
+    proxy = client_orb.object_to_proxy(
+        server_orb.activate_object(coupler, COUPLER_IDL, key="coupler"), COUPLER_IDL
+    )
+
+    def mpi_head():
+        # each MPI rank contributes a local boundary, reduced inside the cluster
+        local = np.full(8, 1.0)
+        boundary = yield from comms_a[0].allreduce(local, op=SUM)
+        remote = yield from proxy.invoke("exchange_boundary", boundary)
+        print(f"[cluster A head] sent boundary {boundary[:3]}..., received {np.asarray(remote)[:3]}...")
+        return np.asarray(remote)
+
+    def mpi_worker():
+        result = yield from comms_a[1].allreduce(np.full(8, 2.0), op=SUM)
+        return result
+
+    def pvm_head():
+        # B's head forwards whatever the coupler received to its PVM worker
+        yield fw.sim.timeout(0.5)  # wait until the coupling happened
+        data = coupler.last_received if coupler.last_received is not None else np.zeros(8)
+        pvm_b[0].initsend()
+        pvm_b[0].pkdouble(data)
+        pvm_b[0].send(pvm_b[1].mytid, tag=7)
+        return data
+
+    def pvm_worker():
+        yield from pvm_b[1].recv(tag=7)
+        values = pvm_b[1].upkdouble()
+        print(f"[cluster B worker] received coupled boundary via PVM: {values[:3]}...")
+        return values
+
+    procs = [fw.sim.process(g()) for g in (mpi_head, mpi_worker, pvm_head, pvm_worker)]
+    fw.sim.run(until=fw.sim.all_of(procs), max_time=120)
+
+    routes = fw.node(cluster_a[0].name).circuits.circuit("vmad:simA").routes()
+    print("\nintra-cluster MPI route (straight parallel path):",
+          {rank: r.method for rank, r in routes.items()})
+    print("coupling latency dominated by the WAN: 8 ms one-way, as in the paper")
+    print(f"virtual time elapsed: {fw.sim.now * 1e3:.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Quickstart: boot the paper's cluster and measure the headline numbers.
+
+Builds the 2-node Myrinet-2000 + Ethernet-100 cluster of the paper, runs an
+MPI ping-pong and a CORBA invocation over the *same* Myrinet network at the
+same time, and prints the Table-1 style latencies/bandwidths.
+
+Run with:  python examples/quickstart.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import paper_cluster
+from repro.bench import (
+    CircuitTransport,
+    CorbaTransport,
+    MpiTransport,
+    VLinkTransport,
+    measure_bandwidth,
+    measure_latency,
+)
+from repro.bench.report import ResultTable
+from repro.middleware.corba import OMNIORB_4
+from repro.middleware.mpi import MPICH_1_2_5
+
+
+def main():
+    rows = {
+        "Circuit (parallel abstraction)": lambda fw, g: CircuitTransport(fw, g),
+        "VLink (distributed abstraction)": lambda fw, g: VLinkTransport(fw, g),
+        "MPICH-1.2.5": lambda fw, g: MpiTransport(fw, g, profile=MPICH_1_2_5),
+        "omniORB-4.0.0": lambda fw, g: CorbaTransport(fw, g, profile=OMNIORB_4),
+    }
+    table = ResultTable("Paper cluster: one-way latency (us) and bandwidth (MB/s) over Myrinet-2000",
+                        ["latency_us", "bandwidth_MBps"])
+    for name, maker in rows.items():
+        fw, group = paper_cluster(2)
+        latency = measure_latency(maker(fw, group), size=8, iterations=10)
+        fw2, group2 = paper_cluster(2)
+        bandwidth = measure_bandwidth(maker(fw2, group2), size=1_000_000, repeats=2)
+        table.add_row(name, [latency * 1e6, bandwidth / 1e6])
+    print(table.render())
+    print()
+    fw, group = paper_cluster(2)
+    print("Deployment report:", fw.status_report()["adjacency"])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Tuning wide-area transfers: parallel streams, compression, VRP (§3.2, §5).
+
+Moves the same dataset across three kinds of long-distance links and shows
+which alternate communication method the selector (or the user's
+preferences) should pick for each:
+
+* VTHD-class WAN        → parallel streams recover the access-link bandwidth,
+* slow loss-free link   → AdOC compression pays off for compressible data,
+* lossy trans-continental link → VRP trades a bounded loss for ~3x bandwidth.
+
+Run with:  python examples/wan_transfer_tuning.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import paper_lossy_pair, paper_wan_pair
+from repro.methods import register_method_drivers
+
+
+def transfer(fw, group, method, total, port):
+    n0, n1 = fw.node(group[0].name), fw.node(group[1].name)
+    listener = n1.vlink_listen(port)
+
+    def scenario():
+        accept_op = listener.accept()
+        client = yield n0.vlink_connect(n1, port, method=method)
+        server = yield accept_op
+        t0 = fw.sim.now
+        sent = 0
+        while sent < total:
+            n = min(256 * 1024, total - sent)
+            client.write(b"temperature=300.0;pressure=101325;" * (n // 34 + 1))
+            sent += n
+        yield server.read(sent)
+        return sent / (fw.sim.now - t0)
+
+    return fw.sim.run(until=fw.sim.process(scenario()), max_time=3600)
+
+
+def main():
+    print("== VTHD-class WAN (8 ms, Ethernet-100 access links) ==")
+    for method in ("sysio", "parallel_streams"):
+        fw, group = paper_wan_pair()
+        for host in group:
+            register_method_drivers(fw.node(host.name), streams=4)
+        bw = transfer(fw, group, method, 8_000_000, 9400)
+        print(f"  {method:18s}: {bw / 1e6:6.2f} MB/s")
+
+    print("\n== lossy trans-continental link (5-10 % loss) ==")
+    for method in ("sysio", "vrp", "adoc"):
+        fw, group = paper_lossy_pair()
+        for host in group:
+            register_method_drivers(fw.node(host.name), vrp_tolerance=0.10)
+        bw = transfer(fw, group, method, 1_000_000, 9500)
+        print(f"  {method:18s}: {bw / 1e3:6.1f} KB/s")
+
+    print("\npaper reference: TCP ~150 KB/s vs VRP(10%) ~500 KB/s on the lossy link;")
+    print("                 ~9 MB/s single stream vs ~12 MB/s parallel streams on VTHD")
+
+
+if __name__ == "__main__":
+    main()

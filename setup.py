@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment is fully offline and has no ``wheel`` package, so
+PEP-517 editable installs cannot build a wheel.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``python setup.py develop``) work; all real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""repro — a PadicoTM-style dual-abstraction grid communication framework.
+
+Reproduction of *"Network Communications in Grid Computing: At a Crossroads
+Between Parallel and Distributed Worlds"* (A. Denis, C. Pérez, T. Priol —
+IPDPS 2004) as a pure-Python library over a deterministic discrete-event
+network simulator.
+
+Layer map (bottom-up, mirroring the paper's Figure 2):
+
+=====================  =====================================================
+:mod:`repro.simnet`    simulated hardware: networks, NICs, hosts, TCP model
+:mod:`repro.madeleine` Madeleine-like SAN communication library
+:mod:`repro.arbitration`  NetAccess: MadIO + SysIO + fairness core
+:mod:`repro.abstraction`  VLink (distributed) + Circuit (parallel) + selector
+:mod:`repro.methods`   parallel streams, AdOC compression, VRP, GSI security
+:mod:`repro.personalities`  Vio, SysWrap, Aio, FastMessage, virtual Madeleine
+:mod:`repro.middleware`  MPI, CORBA ORBs, Java sockets, SOAP, HLA, PVM, DSM
+:mod:`repro.core`      PadicoTM-equivalent runtime (deployment + node boot)
+:mod:`repro.bench`     measurement harness used by benchmarks/ and examples/
+=====================  =====================================================
+
+Quickstart::
+
+    from repro.core import paper_cluster
+    from repro.bench import MpiTransport, measure_latency
+
+    fw, group = paper_cluster(2)
+    transport = MpiTransport(fw, group)
+    print(measure_latency(transport) * 1e6, "us one-way")
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,337 @@
+"""Circuit adapters: incarnations of the parallel abstract interface.
+
+Adapters are either *straight* (parallel abstraction on a parallel network:
+:class:`MadIOCircuitAdapter`) or *cross-paradigm* (parallel abstraction on a
+distributed network: :class:`SysIOCircuitAdapter` and
+:class:`VLinkCircuitAdapter`, the latter reusing the alternate VLink method
+drivers such as parallel streams, AdOC or VRP — §4.2: "Circuit adapters have
+been implemented on top of MadIO, SysIO, loopback and VLink (to use the
+alternates VLink adapters)").
+
+Cross-paradigm adapters must turn the message-oriented Circuit traffic into
+byte streams: each message is framed as ``(src_rank, length, payload)`` and
+the framing/parsing work is charged as the cross-paradigm translation cost.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.simnet.cost import Cost
+from repro.simnet.engine import SimEvent
+from repro.simnet.host import Host
+from repro.simnet.network import Delivery, Network
+from repro.arbitration.madio import MadIO, MadIOChannel
+from repro.arbitration.sysio import SysIO, SysSocket
+from repro.abstraction.common import (
+    AbstractionError,
+    CROSS_PARADIGM_FRAMING_OVERHEAD,
+    SoftDelivery,
+)
+from repro.abstraction.circuit import Circuit
+from repro.abstraction.selector import RouteChoice
+from repro.abstraction.vlink import VLink, VLinkManager
+
+
+class CircuitAdapter:
+    """Base class for per-circuit adapters (one instance per method used)."""
+
+    name = "abstract"
+
+    def __init__(self, circuit: Circuit, route: RouteChoice):
+        self.circuit = circuit
+        self.route = route
+        self.host = circuit.host
+        self.sim = circuit.sim
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def start(self) -> None:
+        """Open whatever channels / listeners the adapter needs."""
+
+    def send(self, dst_rank: int, payload: bytes, cost: Cost) -> SimEvent:
+        """Transmit one fully packed Circuit message."""
+        raise NotImplementedError
+
+    def _account(self, nbytes: int) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} for circuit {self.circuit.name!r}>"
+
+
+# ---------------------------------------------------------------------------
+# Straight adapter: Circuit over MadIO (parallel over parallel)
+# ---------------------------------------------------------------------------
+
+
+class MadIOCircuitAdapter(CircuitAdapter):
+    """The straight parallel path: Circuit messages ride MadIO logical channels."""
+
+    name = "madio"
+
+    def __init__(self, circuit: Circuit, route: RouteChoice, madio: Optional[MadIO] = None):
+        super().__init__(circuit, route)
+        self.madio = madio or self.host.require_service("madio")
+        if route.network is None:
+            raise AbstractionError("MadIO circuit adapter needs a parallel network")
+        self.network: Network = route.network
+        self.channel: Optional[MadIOChannel] = None
+
+    def start(self) -> None:
+        self.channel = self.madio.open_logical_channel(
+            f"circuit:{self.circuit.name}", self.network, self.circuit.group
+        )
+        self.channel.set_receive_callback(self._on_message)
+
+    def send(self, dst_rank: int, payload: bytes, cost: Cost) -> SimEvent:
+        if self.channel is None:
+            raise AbstractionError("adapter not started")
+        self._account(len(payload))
+        # The Circuit payload is already segment-encoded; it travels as the
+        # MadIO body, and the (empty) header rides the combined express
+        # segment, so no extra per-segment cost is paid.
+        return self.channel.send(dst_rank, b"", payload, extra_cost=cost)
+
+    def _on_message(self, src_rank: int, header: bytes, body: bytes, delivery: Delivery) -> None:
+        delivery.traverse(f"circuit-adapter:{self.name}")
+        self.circuit._deliver(src_rank, body, delivery)
+
+
+# ---------------------------------------------------------------------------
+# Cross-paradigm adapters: Circuit over byte streams
+# ---------------------------------------------------------------------------
+
+_FRAME = struct.Struct("!II")  # src_rank, payload length
+_HELLO = struct.Struct("!4sI")  # magic, src_rank
+_HELLO_MAGIC = b"CIRC"
+
+
+class _StreamPeer:
+    """Receive-side reassembly state for one incoming byte stream."""
+
+    def __init__(self) -> None:
+        self.buffer = bytearray()
+        self.src_rank: Optional[int] = None
+
+    def feed(self, data: bytes) -> List[Tuple[int, bytes]]:
+        """Append stream bytes; return the complete messages extracted."""
+        self.buffer += data
+        out: List[Tuple[int, bytes]] = []
+        while True:
+            if self.src_rank is None:
+                if len(self.buffer) < _HELLO.size:
+                    return out
+                magic, rank = _HELLO.unpack_from(self.buffer, 0)
+                if magic != _HELLO_MAGIC:
+                    raise AbstractionError("bad circuit stream hello")
+                self.src_rank = rank
+                del self.buffer[: _HELLO.size]
+                continue
+            if len(self.buffer) < _FRAME.size:
+                return out
+            src_rank, length = _FRAME.unpack_from(self.buffer, 0)
+            if len(self.buffer) < _FRAME.size + length:
+                return out
+            payload = bytes(self.buffer[_FRAME.size : _FRAME.size + length])
+            del self.buffer[: _FRAME.size + length]
+            out.append((src_rank, payload))
+
+
+class StreamMeshCircuitAdapter(CircuitAdapter):
+    """Common machinery for Circuit over connected byte streams.
+
+    A lazily built mesh: the first message towards a rank opens a stream to
+    that rank's circuit port; incoming streams are identified by a small
+    hello record carrying the sender's rank.  Messages are length-prefixed.
+    """
+
+    name = "stream-mesh"
+
+    def __init__(self, circuit: Circuit, route: RouteChoice):
+        super().__init__(circuit, route)
+        self._out_streams: Dict[int, object] = {}
+        self._connecting: Dict[int, List[Tuple[bytes, Cost, SimEvent]]] = {}
+        self._peers: Dict[int, _StreamPeer] = {}
+
+    # subclass hooks ------------------------------------------------------------
+    def _listen(self, port: int, on_incoming: Callable) -> None:
+        raise NotImplementedError
+
+    def _connect(self, dst_host: Host, port: int) -> SimEvent:
+        raise NotImplementedError
+
+    @staticmethod
+    def _write(stream, data: bytes) -> SimEvent:
+        return stream.write(data)
+
+    @staticmethod
+    def _watch(stream, fn: Callable) -> None:
+        """Register the data-readable callback on a stream."""
+        if hasattr(stream, "set_data_callback"):
+            stream.set_data_callback(fn)
+        else:
+            stream.set_data_handler(fn)
+
+    @staticmethod
+    def _drain(stream) -> bytes:
+        return stream.read_available()
+
+    # lifecycle ---------------------------------------------------------------------
+    def start(self) -> None:
+        self._listen(self.circuit.port, self._on_incoming_stream)
+
+    # send path ---------------------------------------------------------------------
+    def send(self, dst_rank: int, payload: bytes, cost: Cost) -> SimEvent:
+        cost.charge(CROSS_PARADIGM_FRAMING_OVERHEAD, "circuit.framing")
+        self._account(len(payload))
+        done = self.sim.event(name=f"circuit-stream-send({len(payload)}B)")
+        stream = self._out_streams.get(dst_rank)
+        if stream is not None:
+            self._send_on(stream, dst_rank, payload, cost, done)
+            return done
+        pending = self._connecting.get(dst_rank)
+        if pending is not None:
+            pending.append((payload, cost, done))
+            return done
+        self._connecting[dst_rank] = [(payload, cost, done)]
+        dst_host = self.circuit.host_of(dst_rank)
+        attempt = self._connect(dst_host, self.circuit.port)
+
+        def _connected(ev):
+            queued = self._connecting.pop(dst_rank, [])
+            if not ev.ok:
+                for _, _, d in queued:
+                    if not d.triggered:
+                        d.fail(ev.value)
+                return
+            stream = ev.value
+            self._out_streams[dst_rank] = stream
+            self._watch(stream, lambda _s=None: self._on_stream_data(stream))
+            hello = _HELLO.pack(_HELLO_MAGIC, self.circuit.rank)
+            self._write(stream, hello)
+            for p, c, d in queued:
+                self._send_on(stream, dst_rank, p, c, d)
+
+        attempt.add_callback(_connected)
+        return done
+
+    def _send_on(self, stream, dst_rank: int, payload: bytes, cost: Cost, done: SimEvent) -> None:
+        frame = _FRAME.pack(self.circuit.rank, len(payload)) + payload
+        # The framing cost delays the actual write.
+        self.sim.call_later(cost.seconds, self._write_and_chain, stream, frame, done)
+
+    def _write_and_chain(self, stream, frame: bytes, done: SimEvent) -> None:
+        self._write(stream, frame).chain(done)
+
+    # receive path ---------------------------------------------------------------------
+    def _on_incoming_stream(self, stream, peer_host) -> None:
+        self._watch(stream, lambda _s=None: self._on_stream_data(stream))
+        # data may already be buffered
+        self._on_stream_data(stream)
+
+    def _on_stream_data(self, stream) -> None:
+        data = self._drain(stream)
+        if not data:
+            return
+        peer = self._peers.get(id(stream))
+        if peer is None:
+            peer = _StreamPeer()
+            self._peers[id(stream)] = peer
+        for src_rank, payload in peer.feed(data):
+            rx = SoftDelivery(self.sim)
+            rx.traverse(f"circuit-adapter:{self.name}")
+            rx.cost.charge(CROSS_PARADIGM_FRAMING_OVERHEAD, "circuit.framing")
+            self.circuit._deliver(src_rank, payload, rx)
+        # Reuse the reverse direction of an incoming stream when we have no
+        # outgoing stream yet (avoids building two sockets per pair).  The
+        # peer's parser for that direction has not seen a hello yet, so send
+        # ours before any framed message travels back.
+        if peer.src_rank is not None and peer.src_rank not in self._out_streams:
+            self._out_streams[peer.src_rank] = stream
+            self._write(stream, _HELLO.pack(_HELLO_MAGIC, self.circuit.rank))
+
+
+class SysIOCircuitAdapter(StreamMeshCircuitAdapter):
+    """Circuit over SysIO arbitrated sockets (cross-paradigm, LAN/WAN)."""
+
+    name = "sysio"
+
+    def __init__(self, circuit: Circuit, route: RouteChoice, sysio: Optional[SysIO] = None):
+        super().__init__(circuit, route)
+        self.sysio = sysio or self.host.require_service("sysio")
+        self.network = route.network
+
+    def _listen(self, port: int, on_incoming: Callable) -> None:
+        self.sysio.listen(port, lambda sock: on_incoming(sock, sock.conn.peer_host))
+
+    def _connect(self, dst_host: Host, port: int) -> SimEvent:
+        return self.sysio.connect(dst_host, port, network=self.network)
+
+
+class VLinkCircuitAdapter(StreamMeshCircuitAdapter):
+    """Circuit over VLink — gives the parallel interface access to the
+    alternate VLink methods (parallel streams, AdOC, VRP) on WAN links."""
+
+    name = "vlink"
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        route: RouteChoice,
+        vlink_manager: Optional[VLinkManager] = None,
+        method: Optional[str] = None,
+    ):
+        super().__init__(circuit, route)
+        self.vlink_manager = vlink_manager or self.host.require_service("vlink")
+        # route.method may be "vlink:parallel_streams" — extract the VLink method.
+        if method is None and route.method.startswith("vlink:"):
+            method = route.method.split(":", 1)[1]
+        self.method = method
+
+    def _listen(self, port: int, on_incoming: Callable) -> None:
+        listener = self.vlink_manager.listen(port)
+        listener.set_accept_callback(lambda link: on_incoming(link, None))
+
+    def _connect(self, dst_host: Host, port: int) -> SimEvent:
+        return self.vlink_manager.connect(dst_host, port, method=self.method)
+
+    @staticmethod
+    def _watch(stream, fn: Callable) -> None:
+        if isinstance(stream, VLink):
+            stream.set_data_handler(fn)
+        else:
+            stream.set_data_callback(fn)
+
+
+class LoopbackCircuitAdapter(CircuitAdapter):
+    """Circuit messages between two endpoints hosted on the same node."""
+
+    name = "loopback"
+
+    def __init__(self, circuit: Circuit, route: RouteChoice, per_message_overhead: float = 0.4e-6):
+        super().__init__(circuit, route)
+        self.per_message_overhead = per_message_overhead
+
+    def send(self, dst_rank: int, payload: bytes, cost: Cost) -> SimEvent:
+        if self.circuit.host_of(dst_rank) is not self.host:
+            raise AbstractionError("loopback circuit adapter only reaches the local host")
+        self._account(len(payload))
+        rx = SoftDelivery(self.sim)
+        rx.cost.merge(cost)
+        rx.cost.charge(self.per_message_overhead, "loopback.msg")
+        rx.cost.charge_copy(len(payload), self.host.cpu.memcpy_bandwidth, "loopback.copy")
+        rx.traverse("circuit-adapter:loopback")
+        src_rank = self.circuit.rank
+        self.sim.call_later(
+            max(0.0, rx.ready_time() - self.sim.now) * 0.0,  # deliver through _deliver's own delay
+            self.circuit._deliver,
+            src_rank,
+            payload,
+            rx,
+        )
+        done = self.sim.event(name="circuit-loopback-send")
+        done.succeed(len(payload), delay=rx.cost.seconds)
+        return done

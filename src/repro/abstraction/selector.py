@@ -1,0 +1,197 @@
+"""The adapter/method selector.
+
+The abstraction layer "is responsible for automatically and dynamically
+choosing the best available interface from the arbitration layer according
+to the available hardware; then it should map it onto the right abstract
+interface through the right adapter" (§3.3).  Besides straight and
+cross-paradigm adapters, alternate *methods* (parallel streams on WANs,
+online compression on slow links, a loss-tolerant protocol on lossy links,
+ciphering between administrative sites) can be preferred per link class.
+
+The default policy implemented here:
+
+========== =========================== ===========================
+link class VLink (distributed) adapter Circuit (parallel) adapter
+========== =========================== ===========================
+LOCAL      loopback                    loopback
+SAN        madio  (cross-paradigm)     madio  (straight)
+LAN        sysio  (straight)           sysio  (cross-paradigm)
+WAN        parallel_streams*           vlink:parallel_streams*
+LOSSY_WAN  vrp* / sysio                vlink:vrp* / sysio
+========== =========================== ===========================
+
+Entries marked ``*`` require the corresponding method driver to be
+registered on the host; otherwise the selector falls back to plain sysio.
+User preferences override the defaults per link class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.simnet.host import Host
+from repro.simnet.network import Network
+from repro.abstraction.common import AbstractionError
+from repro.abstraction.topology import LinkClass, LinkProfile, TopologyKB
+
+
+@dataclass
+class RouteChoice:
+    """The selector's decision for one (src, dst) pair."""
+
+    #: adapter / driver name to use ("madio", "sysio", "loopback",
+    #: "parallel_streams", "adoc", "vrp", ...)
+    method: str
+    #: network the adapter should run on (None for loopback).
+    network: Optional[Network]
+    #: link class that drove the decision.
+    link_class: LinkClass
+    #: True when the chosen adapter translates between paradigms.
+    cross_paradigm: bool = False
+    #: Human-readable explanation (surfaced by the framework status report).
+    reason: str = ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        x = " cross" if self.cross_paradigm else ""
+        return f"<RouteChoice {self.method} on {self.network.name if self.network else 'local'}{x}>"
+
+
+@dataclass
+class Preferences:
+    """User-defined preferences, overriding the default policy per link class.
+
+    ``vlink_methods`` / ``circuit_methods`` map a :class:`LinkClass` to an
+    ordered list of method names; the first method that is actually available
+    on the host wins.
+    """
+
+    vlink_methods: Dict[LinkClass, List[str]] = field(default_factory=dict)
+    circuit_methods: Dict[LinkClass, List[str]] = field(default_factory=dict)
+    #: force ciphering on links that cross administrative sites.
+    require_security_cross_site: bool = False
+
+    def prefer_vlink(self, link_class: LinkClass, *methods: str) -> "Preferences":
+        self.vlink_methods[link_class] = list(methods)
+        return self
+
+    def prefer_circuit(self, link_class: LinkClass, *methods: str) -> "Preferences":
+        self.circuit_methods[link_class] = list(methods)
+        return self
+
+
+_DEFAULT_VLINK = {
+    LinkClass.LOCAL: ["loopback", "sysio"],
+    LinkClass.SAN: ["madio"],
+    LinkClass.LAN: ["sysio"],
+    LinkClass.WAN: ["parallel_streams", "sysio"],
+    LinkClass.LOSSY_WAN: ["vrp", "adoc", "sysio"],
+}
+
+_DEFAULT_CIRCUIT = {
+    LinkClass.LOCAL: ["loopback", "sysio"],
+    LinkClass.SAN: ["madio"],
+    LinkClass.LAN: ["sysio"],
+    LinkClass.WAN: ["vlink:parallel_streams", "sysio"],
+    LinkClass.LOSSY_WAN: ["vlink:vrp", "sysio"],
+}
+
+#: methods that translate between paradigms when used for each interface.
+_CROSS_PARADIGM_VLINK = {"madio", "loopback"}
+_CROSS_PARADIGM_CIRCUIT = {"sysio", "vlink:parallel_streams", "vlink:vrp", "vlink:adoc"}
+
+
+class Selector:
+    """Chooses adapters/methods per link from the topology KB and preferences."""
+
+    def __init__(self, topology: TopologyKB, preferences: Optional[Preferences] = None):
+        self.topology = topology
+        self.preferences = preferences or Preferences()
+
+    # -- generic machinery -------------------------------------------------------
+    def _candidates(
+        self, link_class: LinkClass, table: Dict[LinkClass, List[str]], overrides: Dict[LinkClass, List[str]]
+    ) -> List[str]:
+        if link_class in overrides:
+            return list(overrides[link_class]) + list(table.get(link_class, []))
+        return list(table.get(link_class, []))
+
+    def _pick(
+        self,
+        src: Host,
+        dst: Host,
+        available: List[str],
+        table: Dict[LinkClass, List[str]],
+        overrides: Dict[LinkClass, List[str]],
+        cross_set,
+        interface: str,
+    ) -> RouteChoice:
+        profile: LinkProfile = self.topology.link_profile(src, dst)
+        if profile.link_class is LinkClass.NONE:
+            raise AbstractionError(
+                f"no common network between {src.name} and {dst.name}: cannot route"
+            )
+        candidates = self._candidates(profile.link_class, table, overrides)
+        for method in candidates:
+            if method in available:
+                network = self._network_for(method, profile)
+                return RouteChoice(
+                    method=method,
+                    network=network,
+                    link_class=profile.link_class,
+                    cross_paradigm=method in cross_set,
+                    reason=(
+                        f"{interface} on {profile.link_class.value} link "
+                        f"{src.name}->{dst.name}: picked {method!r} from {candidates}"
+                    ),
+                )
+        raise AbstractionError(
+            f"no available {interface} method for {profile.link_class.value} link "
+            f"{src.name}->{dst.name}; candidates={candidates}, available={sorted(available)}"
+        )
+
+    @staticmethod
+    def _network_for(method: str, profile: LinkProfile) -> Optional[Network]:
+        if method in ("loopback",):
+            return None
+        if method == "madio":
+            nets = profile.parallel_networks()
+            return nets[0] if nets else profile.best_network
+        # every other method runs over an IP network
+        nets = profile.distributed_networks()
+        if nets:
+            # fastest distributed network
+            return sorted(nets, key=lambda n: (-n.bandwidth, n.latency))[0]
+        return profile.best_network
+
+    # -- public API ---------------------------------------------------------------
+    def choose_vlink(self, src: Host, dst: Host, available: List[str]) -> RouteChoice:
+        """Pick the VLink driver for a (src, dst) connection."""
+        return self._pick(
+            src,
+            dst,
+            available,
+            _DEFAULT_VLINK,
+            self.preferences.vlink_methods,
+            _CROSS_PARADIGM_VLINK,
+            "VLink",
+        )
+
+    def choose_circuit(self, src: Host, dst: Host, available: List[str]) -> RouteChoice:
+        """Pick the Circuit adapter for the (src, dst) link of a group."""
+        return self._pick(
+            src,
+            dst,
+            available,
+            _DEFAULT_CIRCUIT,
+            self.preferences.circuit_methods,
+            _CROSS_PARADIGM_CIRCUIT,
+            "Circuit",
+        )
+
+    def needs_security(self, src: Host, dst: Host) -> bool:
+        """True when the preferences require ciphering for this link
+        ("if the network is secure, it is useless to cipher data" — §2.1)."""
+        if not self.preferences.require_security_cross_site:
+            return False
+        return src.site != dst.site

@@ -1,0 +1,154 @@
+"""The topology knowledge base used by the adapter selector.
+
+"VLink and Circuit automatically choose which protocol to use according to a
+knowledge base of the network topology managed by PadicoTM and user-defined
+preferences." (§4.2)
+
+The knowledge base records which hosts sit on which networks and classifies
+every host pair's best link into a :class:`LinkClass` (same node, SAN, LAN,
+WAN, lossy WAN).  The :class:`~repro.abstraction.selector.Selector` turns a
+link class plus user preferences into a concrete adapter / method choice.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.simnet.cost import MB, MILLISECOND
+from repro.simnet.host import Host
+from repro.simnet.network import Network
+
+
+class LinkClass(enum.Enum):
+    """Coarse classification of the best link between two hosts."""
+
+    LOCAL = "local"          # same host (loopback)
+    SAN = "san"              # system-area network (Myrinet, SCI, ...)
+    LAN = "lan"              # local IP network
+    WAN = "wan"              # long-distance IP network, low loss
+    LOSSY_WAN = "lossy_wan"  # long-distance IP network with significant loss
+    NONE = "none"            # no common network
+
+
+#: latency above which an IP network is considered a WAN rather than a LAN.
+WAN_LATENCY_THRESHOLD = 1.0 * MILLISECOND
+#: loss rate above which a WAN is considered lossy enough to justify VRP.
+LOSSY_THRESHOLD = 0.01
+
+
+@dataclass
+class LinkProfile:
+    """Everything the selector knows about the path between two hosts."""
+
+    src: Host
+    dst: Host
+    link_class: LinkClass
+    networks: List[Network] = field(default_factory=list)
+    best_network: Optional[Network] = None
+    cross_site: bool = False
+
+    @property
+    def has_parallel_network(self) -> bool:
+        return any(n.is_parallel for n in self.networks)
+
+    @property
+    def has_distributed_network(self) -> bool:
+        return any(n.is_distributed for n in self.networks)
+
+    def parallel_networks(self) -> List[Network]:
+        return [n for n in self.networks if n.is_parallel]
+
+    def distributed_networks(self) -> List[Network]:
+        return [n for n in self.networks if n.is_distributed]
+
+
+class TopologyKB:
+    """Registry of hosts and networks plus link classification."""
+
+    def __init__(self) -> None:
+        self._networks: List[Network] = []
+        self._hosts: List[Host] = []
+
+    # -- registration ---------------------------------------------------------
+    def register_network(self, network: Network) -> Network:
+        if network not in self._networks:
+            self._networks.append(network)
+        return network
+
+    def register_host(self, host: Host) -> Host:
+        if host not in self._hosts:
+            self._hosts.append(host)
+        return host
+
+    def networks(self) -> List[Network]:
+        return list(self._networks)
+
+    def hosts(self) -> List[Host]:
+        return list(self._hosts)
+
+    def host_by_name(self, name: str) -> Host:
+        for host in self._hosts:
+            if host.name == name:
+                return host
+        raise LookupError(f"unknown host {name!r}")
+
+    # -- queries -------------------------------------------------------------------
+    def networks_between(self, a: Host, b: Host) -> List[Network]:
+        """All registered networks that connect ``a`` and ``b``."""
+        if a is b:
+            return [n for n in self._networks if n.is_attached(a)]
+        return [n for n in self._networks if n.connects(a, b)]
+
+    def classify_network(self, network: Network) -> LinkClass:
+        """Class of a single network considered in isolation."""
+        if network.is_parallel:
+            return LinkClass.SAN
+        if network.latency >= WAN_LATENCY_THRESHOLD:
+            if network.loss_rate >= LOSSY_THRESHOLD:
+                return LinkClass.LOSSY_WAN
+            return LinkClass.WAN
+        return LinkClass.LAN
+
+    def best_network(self, networks: List[Network]) -> Optional[Network]:
+        """Rank common networks: parallel first, then by bandwidth, then latency."""
+        if not networks:
+            return None
+        return sorted(
+            networks,
+            key=lambda n: (not n.is_parallel, -n.bandwidth, n.latency),
+        )[0]
+
+    def link_profile(self, a: Host, b: Host) -> LinkProfile:
+        """Full profile of the (a, b) path used by the selector."""
+        networks = self.networks_between(a, b)
+        cross_site = a.site != b.site
+        if a is b:
+            return LinkProfile(a, b, LinkClass.LOCAL, networks, self.best_network(networks), cross_site)
+        if not networks:
+            return LinkProfile(a, b, LinkClass.NONE, [], None, cross_site)
+        best = self.best_network(networks)
+        return LinkProfile(a, b, self.classify_network(best), networks, best, cross_site)
+
+    def link_class(self, a: Host, b: Host) -> LinkClass:
+        return self.link_profile(a, b).link_class
+
+    # -- descriptive -----------------------------------------------------------------
+    def describe(self) -> Dict[str, object]:
+        """A serialisable snapshot (used by the framework's status report)."""
+        return {
+            "hosts": [h.name for h in self._hosts],
+            "networks": [n.describe() for n in self._networks],
+        }
+
+    def adjacency(self) -> Dict[Tuple[str, str], str]:
+        """Link class for every registered host pair (debugging / tests)."""
+        result: Dict[Tuple[str, str], str] = {}
+        for i, a in enumerate(self._hosts):
+            for b in self._hosts[i + 1 :]:
+                result[(a.name, b.name)] = self.link_class(a, b).value
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TopologyKB hosts={len(self._hosts)} networks={len(self._networks)}>"

@@ -1,0 +1,295 @@
+"""VLink: the distributed-paradigm abstract interface.
+
+"The VLink interface is designed for distributed computing.  It is
+client/server-oriented, supports dynamic connections, and streaming.  In
+order to easily allow several personalities — both synchronous and
+asynchronous personalities —, VLink is based on a flexible asynchronous
+API.  This API consists in five primitive operations — read, write,
+connect, accept, close.  These functions are asynchronous: when they are
+invoked, they initiate (post) the operation and may return before
+completion.  Their completion may be tested by polling the VLink
+descriptor; a handler may be set which will be called upon operation
+completion." (§4.2)
+
+The five primitives map onto :class:`VLinkOperation` objects: posting
+returns the operation immediately, ``op.poll()`` tests completion,
+``op.set_handler(fn)`` installs a completion handler, and — because a
+:class:`VLinkOperation` *is* a simulation event — synchronous personalities
+simply ``yield`` it.
+
+Drivers (the incarnations of the interface on actual resources) are
+registered with the per-host :class:`VLinkManager`; the paper's list —
+MadIO, SysIO, Parallel Streams for WAN, AdOC, loopback — corresponds to
+:mod:`repro.abstraction.drivers` plus the method drivers in
+:mod:`repro.methods`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.simnet.engine import SimEvent
+from repro.simnet.host import Host
+from repro.abstraction.common import AbstractionError, VLINK_LAYER_OVERHEAD
+from repro.abstraction.selector import RouteChoice, Selector
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.abstraction.drivers import VLinkDriver
+
+
+VLINK_SERVICE = "vlink"
+
+
+class VLinkState(enum.Enum):
+    IDLE = "idle"
+    CONNECTING = "connecting"
+    ESTABLISHED = "established"
+    CLOSED = "closed"
+
+
+class VLinkOperation(SimEvent):
+    """An asynchronous VLink operation (post / poll / handler)."""
+
+    __slots__ = ("kind", "vlink", "posted_at")
+
+    def __init__(self, sim, kind: str, vlink: Optional["VLink"] = None):
+        super().__init__(sim, name=f"vlink-{kind}")
+        self.kind = kind
+        self.vlink = vlink
+        self.posted_at = sim.now
+
+    def poll(self) -> bool:
+        """Non-blocking completion test."""
+        return self.triggered
+
+    def set_handler(self, fn: Callable[["VLinkOperation"], None]) -> None:
+        """Install a completion handler called with the operation itself."""
+        self.add_callback(lambda _ev: fn(self))
+
+    @property
+    def result(self):
+        """Value of the completed operation (None while pending)."""
+        return self.value if self.triggered else None
+
+
+class VLink:
+    """A VLink descriptor: one established (or in-progress) connection."""
+
+    def __init__(self, manager: "VLinkManager", driver_name: str, conn, route: Optional[RouteChoice] = None):
+        self.manager = manager
+        self.sim = manager.sim
+        self.driver_name = driver_name
+        self.conn = conn
+        self.route = route
+        self.state = VLinkState.ESTABLISHED if conn is not None else VLinkState.IDLE
+        self.bytes_written = 0
+        self.bytes_read = 0
+        manager._links.append(self)
+
+    # -- primitives -----------------------------------------------------------
+    def write(self, data: bytes) -> VLinkOperation:
+        """Post a write of ``data``; completes when the peer holds the bytes."""
+        self._check_established("write")
+        op = VLinkOperation(self.sim, "write", self)
+        self.bytes_written += len(data)
+        self.conn.write(bytes(data)).chain(op)
+        return op
+
+    def read(self, nbytes: int, exact: bool = True) -> VLinkOperation:
+        """Post a read; completes with the bytes (exactly ``nbytes`` when
+        ``exact``, otherwise whatever is available up to ``nbytes``)."""
+        self._check_established("read")
+        op = VLinkOperation(self.sim, "read", self)
+
+        def _done(ev):
+            if ev.ok:
+                self.bytes_read += len(ev.value)
+                if not op.triggered:
+                    op.succeed(ev.value)
+            elif not op.triggered:
+                op.fail(ev.value)
+
+        if exact:
+            self.conn.recv_exact(nbytes).add_callback(_done)
+        else:
+            self.conn.recv(nbytes).add_callback(_done)
+        return op
+
+    def close(self) -> VLinkOperation:
+        """Post a close of the link."""
+        op = VLinkOperation(self.sim, "close", self)
+        if self.state is VLinkState.CLOSED:
+            op.succeed(None)
+            return op
+        self.state = VLinkState.CLOSED
+        self.conn.close()
+        op.succeed(None)
+        return op
+
+    # -- non-blocking helpers --------------------------------------------------
+    def available(self) -> int:
+        """Bytes readable without waiting."""
+        return self.conn.available()
+
+    def read_available(self, limit: Optional[int] = None) -> bytes:
+        data = self.conn.read_available(limit)
+        self.bytes_read += len(data)
+        return data
+
+    def set_data_handler(self, fn: Optional[Callable[["VLink"], None]]) -> None:
+        """Handler called whenever new bytes become readable (asynchronous
+        personalities and the SOAP/CORBA server loops use this)."""
+        if fn is None:
+            self.conn.set_data_callback(None)
+        else:
+            self.conn.set_data_callback(lambda _c: fn(self))
+
+    # -- internals ----------------------------------------------------------------
+    def _check_established(self, opname: str) -> None:
+        if self.state is not VLinkState.ESTABLISHED:
+            raise AbstractionError(f"VLink.{opname}() on a link in state {self.state.value}")
+
+    @property
+    def peer_name(self) -> str:
+        return getattr(self.conn, "peer_name", "?")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<VLink via {self.driver_name} to {self.peer_name} state={self.state.value}>"
+
+
+class VLinkListener:
+    """Server side of VLink: accepts incoming links from any registered driver."""
+
+    def __init__(self, manager: "VLinkManager", port: int):
+        self.manager = manager
+        self.sim = manager.sim
+        self.port = port
+        self._accept_callback: Optional[Callable[[VLink], None]] = None
+        self._ready: List[VLink] = []
+        self._waiters: List[VLinkOperation] = []
+        self.accepted = 0
+
+    def accept(self) -> VLinkOperation:
+        """Post an accept; completes with the next incoming :class:`VLink`."""
+        op = VLinkOperation(self.sim, "accept")
+        if self._ready:
+            op.succeed(self._ready.pop(0))
+        else:
+            self._waiters.append(op)
+        return op
+
+    def set_accept_callback(self, fn: Callable[[VLink], None]) -> None:
+        """Callback mode: every incoming link is handed to ``fn``."""
+        self._accept_callback = fn
+        while self._ready:
+            fn(self._ready.pop(0))
+
+    def _incoming(self, driver_name: str, conn, peer_host: Optional[Host]) -> None:
+        link = VLink(self.manager, driver_name, conn)
+        self.accepted += 1
+        if self._waiters:
+            self._waiters.pop(0).succeed(link)
+        elif self._accept_callback is not None:
+            self._accept_callback(link)
+        else:
+            self._ready.append(link)
+
+    def close(self) -> None:
+        self.manager._listeners.pop(self.port, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<VLinkListener :{self.port} accepted={self.accepted}>"
+
+
+class VLinkManager:
+    """Per-host VLink factory: driver registry + connect/listen entry points."""
+
+    def __init__(self, host: Host, selector: Optional[Selector] = None):
+        self.host = host
+        self.sim = host.sim
+        self.selector = selector
+        self._drivers: Dict[str, "VLinkDriver"] = {}
+        self._listeners: Dict[int, VLinkListener] = {}
+        self._links: List[VLink] = []
+        host.register_service(VLINK_SERVICE, self, replace=True)
+
+    # -- drivers -------------------------------------------------------------------
+    def register_driver(self, driver: "VLinkDriver") -> "VLinkDriver":
+        """Register a VLink driver (an incarnation of the abstract interface)."""
+        if driver.name in self._drivers:
+            return self._drivers[driver.name]
+        self._drivers[driver.name] = driver
+        return driver
+
+    def driver(self, name: str) -> "VLinkDriver":
+        try:
+            return self._drivers[name]
+        except KeyError:
+            raise AbstractionError(
+                f"no VLink driver {name!r} on host {self.host.name}; "
+                f"registered: {sorted(self._drivers)}"
+            ) from None
+
+    def driver_names(self) -> List[str]:
+        return sorted(self._drivers)
+
+    def links(self) -> List[VLink]:
+        return list(self._links)
+
+    # -- server side -----------------------------------------------------------------
+    def listen(self, port: int) -> VLinkListener:
+        """Listen on ``port`` with every registered driver."""
+        if port in self._listeners:
+            raise AbstractionError(f"VLink port {port} already in use on {self.host.name}")
+        listener = VLinkListener(self, port)
+        self._listeners[port] = listener
+        for name, driver in self._drivers.items():
+            driver.listen(port, lambda conn, peer, n=name: listener._incoming(n, conn, peer))
+        return listener
+
+    # -- client side -----------------------------------------------------------------
+    def connect(self, dst_host: Host, port: int, method: Optional[str] = None) -> VLinkOperation:
+        """Post a connect to ``dst_host:port``.
+
+        The driver is chosen by (in decreasing priority) the explicit
+        ``method`` argument, the selector's policy for the link, or — with
+        neither available — a plain preference for straight drivers.
+        """
+        op = VLinkOperation(self.sim, "connect")
+        route: Optional[RouteChoice] = None
+        if method is None:
+            if self.selector is not None:
+                route = self.selector.choose_vlink(self.host, dst_host, self.driver_names())
+                method = route.method
+            else:
+                method = self._fallback_method(dst_host)
+        driver = self.driver(method)
+
+        def _connected(ev):
+            if ev.ok:
+                link = VLink(self, method, ev.value, route)
+                if not op.triggered:
+                    op.succeed(link)
+            elif not op.triggered:
+                op.fail(ev.value)
+
+        driver.connect(dst_host, port).add_callback(_connected)
+        return op
+
+    def _fallback_method(self, dst_host: Host) -> str:
+        order = ["loopback"] if dst_host is self.host else []
+        order += ["madio", "sysio"]
+        for name in order:
+            if name in self._drivers:
+                if name == "madio" and not self._drivers[name].reaches(dst_host):
+                    continue
+                if name == "loopback" and dst_host is not self.host:
+                    continue
+                return name
+        if self._drivers:
+            return next(iter(sorted(self._drivers)))
+        raise AbstractionError(f"no VLink drivers registered on host {self.host.name}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<VLinkManager host={self.host.name} drivers={self.driver_names()}>"

@@ -1,0 +1,42 @@
+"""NetAccess — the arbitration layer of the communication framework.
+
+"Arbitration is performed by a layer which provides a consistent, reentrant
+and multiplexed access to every networking resource" (§3.3).  In PadicoTM
+this layer is called *NetAccess* and contains two subsystems plus a core:
+
+* :class:`~repro.arbitration.netaccess.NetAccessCore` — manages the polling
+  loops, enforces fairness between subsystems, exposes the user-tunable
+  interleaving policy (§4.1, "NetAccess core").
+* :class:`~repro.arbitration.madio.MadIO` — multiplexed access to
+  high-performance (parallel-paradigm) networks on top of Madeleine, adding
+  an arbitrary number of *logical* channels over the few hardware channels,
+  with header combining so that multiplexing costs less than 0.1 µs.
+* :class:`~repro.arbitration.sysio.SysIO` — callback-based access to system
+  sockets (distributed-paradigm networks), replacing per-middleware polling
+  or signal-driven I/O with a single receipt loop.
+
+All arbitrated interfaces are callback-based ("à la Active Message").
+"""
+
+from repro.arbitration.netaccess import (
+    NetAccessCore,
+    ArbitrationError,
+    SubsystemStats,
+    NETACCESS_SERVICE,
+)
+from repro.arbitration.madio import MadIO, MadIOChannel, MADIO_SUBSYSTEM
+from repro.arbitration.sysio import SysIO, SysSocket, SysListener, SYSIO_SUBSYSTEM
+
+__all__ = [
+    "NetAccessCore",
+    "ArbitrationError",
+    "SubsystemStats",
+    "NETACCESS_SERVICE",
+    "MadIO",
+    "MadIOChannel",
+    "MADIO_SUBSYSTEM",
+    "SysIO",
+    "SysSocket",
+    "SysListener",
+    "SYSIO_SUBSYSTEM",
+]

@@ -1,0 +1,51 @@
+"""Benchmark harness: transports under test, measurement drivers, reporting.
+
+The paper's evaluation (§5) boils down to two primitive measurements applied
+to many middleware/network combinations:
+
+* **one-way latency** — half of a small-message ping-pong round trip;
+* **bandwidth** — message size divided by the time between send initiation
+  on one node and complete reception on the other.
+
+:mod:`repro.bench.transports` wraps every middleware system (and the raw
+Circuit/VLink interfaces) behind one tiny ``Transport`` interface so the
+same driver code (:mod:`repro.bench.harness`) produces Figure 3, Table 1 and
+the WAN/VRP experiments; :mod:`repro.bench.report` formats the results the
+way the paper presents them.
+"""
+
+from repro.bench.transports import (
+    Transport,
+    CircuitTransport,
+    VLinkTransport,
+    MpiTransport,
+    CorbaTransport,
+    JavaSocketTransport,
+    SoapTransport,
+    FIGURE3_MESSAGE_SIZES,
+)
+from repro.bench.harness import (
+    measure_latency,
+    measure_bandwidth,
+    bandwidth_sweep,
+    measure_stream_bandwidth,
+)
+from repro.bench.report import format_table, format_series, ResultTable
+
+__all__ = [
+    "Transport",
+    "CircuitTransport",
+    "VLinkTransport",
+    "MpiTransport",
+    "CorbaTransport",
+    "JavaSocketTransport",
+    "SoapTransport",
+    "FIGURE3_MESSAGE_SIZES",
+    "measure_latency",
+    "measure_bandwidth",
+    "bandwidth_sweep",
+    "measure_stream_bandwidth",
+    "format_table",
+    "format_series",
+    "ResultTable",
+]

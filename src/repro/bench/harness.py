@@ -1,0 +1,99 @@
+"""Measurement drivers: latency, bandwidth, sweeps, stream throughput."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.simnet.cost import MB
+from repro.bench.transports import Transport
+
+
+def _run(sim, gen, max_time: Optional[float] = None):
+    """Run a measurement generator to completion inside the simulator."""
+    return sim.run(until=sim.process(gen), max_time=max_time)
+
+
+def measure_latency(transport: Transport, *, size: int = 8, iterations: int = 30,
+                    warmup: int = 3, max_time: Optional[float] = None) -> float:
+    """One-way latency in seconds: half the average ping-pong round trip."""
+
+    def _bench():
+        if not transport._ready:
+            yield from transport.setup()
+        for _ in range(warmup):
+            yield from transport.pingpong(size)
+        total = 0.0
+        for _ in range(iterations):
+            total += yield from transport.pingpong(size)
+        return total / iterations / 2.0
+
+    return _run(transport.sim, _bench(), max_time)
+
+
+def measure_bandwidth(transport: Transport, *, size: int = 1_000_000, repeats: int = 3,
+                      max_time: Optional[float] = None) -> float:
+    """Bandwidth in bytes/second for one-way transfers of ``size`` bytes."""
+
+    def _bench():
+        if not transport._ready:
+            yield from transport.setup()
+        # one warm-up transfer (connection establishment, slow start, ...)
+        yield from transport.one_way(min(size, 65536))
+        total = 0.0
+        for _ in range(repeats):
+            total += yield from transport.one_way(size)
+        return size * repeats / total
+
+    return _run(transport.sim, _bench(), max_time)
+
+
+def bandwidth_sweep(transport: Transport, sizes: Iterable[int], *, repeats: int = 2,
+                    max_time: Optional[float] = None) -> Dict[int, float]:
+    """Figure-3 style sweep: observed bandwidth (bytes/s) per message size."""
+
+    results: Dict[int, float] = {}
+
+    def _bench():
+        if not transport._ready:
+            yield from transport.setup()
+        yield from transport.one_way(1024)  # warm-up
+        for size in sizes:
+            total = 0.0
+            for _ in range(repeats):
+                total += yield from transport.one_way(size)
+            results[size] = size * repeats / total
+        return results
+
+    _run(transport.sim, _bench(), max_time)
+    return results
+
+
+def measure_stream_bandwidth(sim, connect_gen, total_bytes: int, chunk: int = 256 * 1024,
+                             max_time: Optional[float] = None) -> float:
+    """Bulk-transfer throughput over an already-scripted sender/receiver pair.
+
+    ``connect_gen`` is a generator producing ``(write_fn, read_done_event)``
+    — used by the WAN / VRP experiments where the interesting object is the
+    raw VLink connection rather than a middleware transport.
+    """
+
+    result = {}
+
+    def _bench():
+        writer, read_done = yield from connect_gen()
+        t0 = sim.now
+        sent = 0
+        while sent < total_bytes:
+            n = min(chunk, total_bytes - sent)
+            yield writer(b"x" * n)
+            sent += n
+        yield read_done
+        result["elapsed"] = sim.now - t0
+        return total_bytes / result["elapsed"]
+
+    return _run(sim, _bench(), max_time)
+
+
+def bandwidth_MBps(bytes_per_second: float) -> float:
+    """Decimal MB/s, the unit of the paper's figures."""
+    return bytes_per_second / MB

@@ -1,0 +1,71 @@
+"""Result formatting in the shape the paper reports (tables and series)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.simnet.cost import MB, MICROSECOND
+
+
+@dataclass
+class ResultTable:
+    """A small column-oriented result table (Table-1 style)."""
+
+    title: str
+    columns: List[str] = field(default_factory=list)
+    rows: Dict[str, List[float]] = field(default_factory=dict)
+
+    def add_row(self, name: str, values: Sequence[float]) -> None:
+        if self.columns and len(values) != len(self.columns):
+            raise ValueError(
+                f"row {name!r} has {len(values)} values but the table has {len(self.columns)} columns"
+            )
+        self.rows[name] = list(values)
+
+    def cell(self, row: str, column: str) -> float:
+        return self.rows[row][self.columns.index(column)]
+
+    def render(self, fmt: str = "{:>12.2f}") -> str:
+        name_width = max([len(r) for r in self.rows] + [len(self.title)]) + 2
+        lines = [self.title, "-" * len(self.title)]
+        header = " " * name_width + "".join(f"{c:>14}" for c in self.columns)
+        lines.append(header)
+        for name, values in self.rows.items():
+            cells = "".join(f"{v:>14.2f}" for v in values)
+            lines.append(f"{name:<{name_width}}{cells}")
+        return "\n".join(lines)
+
+
+def format_table(title: str, columns: Sequence[str], rows: Dict[str, Sequence[float]]) -> str:
+    table = ResultTable(title, list(columns))
+    for name, values in rows.items():
+        table.add_row(name, values)
+    return table.render()
+
+
+def format_series(title: str, series: Dict[str, Dict[int, float]], *, unit: str = "MB/s") -> str:
+    """Figure-3 style output: one column per curve, one row per message size."""
+    sizes = sorted({size for curve in series.values() for size in curve})
+    names = list(series)
+    lines = [title, "-" * len(title)]
+    header = f"{'msg size':>10}" + "".join(f"{name:>22}" for name in names)
+    lines.append(header)
+    for size in sizes:
+        row = f"{size:>10}"
+        for name in names:
+            value = series[name].get(size)
+            row += f"{value / MB:>22.2f}" if value is not None else f"{'-':>22}"
+        lines.append(row)
+    lines.append(f"(values in {unit})")
+    return "\n".join(lines)
+
+
+def latency_us(seconds: float) -> float:
+    """Latency in microseconds (Table 1 unit)."""
+    return seconds / MICROSECOND
+
+
+def bandwidth_MBps(bytes_per_second: float) -> float:
+    """Bandwidth in decimal MB/s (Figure 3 / Table 1 unit)."""
+    return bytes_per_second / MB

@@ -1,0 +1,310 @@
+"""Transports under test: one tiny interface over every middleware system.
+
+A :class:`Transport` knows how to set itself up between the first two hosts
+of a group and exposes two generator operations used by the harness:
+
+* ``pingpong(size)`` — send ``size`` bytes from node 0 to node 1 and back;
+  returns the round-trip time.
+* ``one_way(size)`` — send ``size`` bytes from node 0 to node 1; returns the
+  time from send initiation to complete reception on node 1.
+
+Each concrete transport goes through the *public* API of its middleware
+(the MPI communicator, a CORBA proxy, a Java data stream, ...), so the
+numbers include every layer the paper's own measurements include.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.simnet.host import HostGroup
+from repro.core.framework import PadicoFramework, PadicoNode
+
+#: the message sizes of Figure 3 (32 B to 1 MB, logarithmic).
+FIGURE3_MESSAGE_SIZES = [32, 128, 512, 1024, 4096, 16384, 32768, 65536, 131072, 262144, 524288, 1000000]
+
+
+class Transport:
+    """Base class: a point-to-point byte transport between two booted nodes."""
+
+    name = "abstract"
+
+    def __init__(self, fw: PadicoFramework, group: HostGroup, **kwargs):
+        self.fw = fw
+        self.sim = fw.sim
+        self.group = group
+        self.node0: PadicoNode = fw.node(group[0].name)
+        self.node1: PadicoNode = fw.node(group[1].name)
+        self._ready = False
+
+    # -- lifecycle -------------------------------------------------------------
+    def setup(self):
+        """Generator establishing whatever connections the transport needs."""
+        self._ready = True
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    # -- operations -------------------------------------------------------------
+    def pingpong(self, size: int):
+        raise NotImplementedError
+
+    def one_way(self, size: int):
+        raise NotImplementedError
+
+
+class CircuitTransport(Transport):
+    """The raw parallel abstract interface (Table 1 column "Circuit")."""
+
+    name = "Circuit"
+
+    def __init__(self, fw, group, circuit_name: str = "bench-circuit", **kwargs):
+        super().__init__(fw, group, **kwargs)
+        self.c0 = self.node0.circuit(circuit_name, group)
+        self.c1 = self.node1.circuit(circuit_name, group)
+
+    def setup(self):
+        self._ready = True
+        return
+        yield  # pragma: no cover
+
+    def pingpong(self, size: int):
+        payload = b"p" * size
+        t0 = self.sim.now
+        self.c0.send(1, payload)
+        src, incoming = yield self.c1.recv()
+        self.c1.send(src, incoming.unpack())
+        _src, echoed = yield self.c0.recv()
+        echoed.unpack()
+        return self.sim.now - t0
+
+    def one_way(self, size: int):
+        payload = b"b" * size
+        t0 = self.sim.now
+        self.c0.send(1, payload)
+        _src, incoming = yield self.c1.recv()
+        incoming.unpack()
+        return self.sim.now - t0
+
+
+class VLinkTransport(Transport):
+    """The raw distributed abstract interface (Table 1 column "VLink")."""
+
+    name = "VLink"
+
+    def __init__(self, fw, group, port: int = 4100, method: Optional[str] = None, **kwargs):
+        super().__init__(fw, group, **kwargs)
+        self.port = port
+        self.method = method
+        self.client = None
+        self.server = None
+
+    def setup(self):
+        listener = self.node1.vlink_listen(self.port)
+        accept_op = listener.accept()
+        self.client = yield self.node0.vlink_connect(self.node1, self.port, method=self.method)
+        self.server = yield accept_op
+
+    def pingpong(self, size: int):
+        payload = b"p" * size
+        t0 = self.sim.now
+        self.client.write(payload)
+        data = yield self.server.read(size)
+        self.server.write(data)
+        yield self.client.read(size)
+        return self.sim.now - t0
+
+    def one_way(self, size: int):
+        payload = b"b" * size
+        t0 = self.sim.now
+        self.client.write(payload)
+        yield self.server.read(size)
+        return self.sim.now - t0
+
+
+class MpiTransport(Transport):
+    """MPI (MPICH profile) over the virtual Madeleine personality."""
+
+    name = "MPICH"
+
+    def __init__(self, fw, group, profile=None, standalone: bool = False, **kwargs):
+        super().__init__(fw, group, **kwargs)
+        from repro.middleware.mpi import MPICH_1_2_5, MpiRuntime, standalone_mpi_pair
+
+        profile = profile or MPICH_1_2_5
+        self.name = profile.name + (" (standalone)" if standalone else "")
+        if standalone:
+            san = [n for n in group[0].networks() if n.is_parallel][0]
+            runtimes = standalone_mpi_pair(san, group, profile=profile)
+            self.comm0 = runtimes[0].comm_world
+            self.comm1 = runtimes[1].comm_world
+        else:
+            r0 = MpiRuntime(self.node0, group, profile=profile, channel_name=f"bench-{id(self)}")
+            r1 = MpiRuntime(self.node1, group, profile=profile, channel_name=f"bench-{id(self)}")
+            self.comm0 = r0.comm_world
+            self.comm1 = r1.comm_world
+
+    def setup(self):
+        self._ready = True
+        return
+        yield  # pragma: no cover
+
+    def pingpong(self, size: int):
+        payload = b"p" * size
+        t0 = self.sim.now
+        self.comm0.isend(payload, 1, tag=7)
+        data = yield self.comm1.irecv(0, 7).wait()
+        self.comm1.isend(data, 0, tag=8)
+        yield self.comm0.irecv(1, 8).wait()
+        return self.sim.now - t0
+
+    def one_way(self, size: int):
+        payload = b"b" * size
+        t0 = self.sim.now
+        self.comm0.isend(payload, 1, tag=9)
+        yield self.comm1.irecv(0, 9).wait()
+        return self.sim.now - t0
+
+
+class CorbaTransport(Transport):
+    """A CORBA ORB profile invoking a bench servant through GIOP."""
+
+    name = "CORBA"
+
+    def __init__(self, fw, group, profile=None, forced_method: Optional[str] = None,
+                 port: Optional[int] = None, **kwargs):
+        super().__init__(fw, group, **kwargs)
+        from repro.middleware.corba import (
+            Interface,
+            Operation,
+            ORB,
+            OMNIORB_4,
+            Servant,
+            TC_DOUBLE,
+            TC_OCTET_SEQ,
+        )
+
+        profile = profile or OMNIORB_4
+        self.name = profile.name
+        self.interface = Interface(
+            "IDL:repro/Bench:1.0",
+            [
+                Operation("ping", params=(("data", TC_OCTET_SEQ),), result=TC_OCTET_SEQ),
+                Operation("transfer", params=(("data", TC_OCTET_SEQ),), result=TC_DOUBLE),
+            ],
+        )
+        sim = self.sim
+
+        class BenchServant(Servant):
+            """Echoes pings; records the arrival time of bulk transfers."""
+
+            def __init__(self):
+                self.last_arrival = 0.0
+
+            def ping(self, data):
+                return data
+
+            def transfer(self, data):
+                self.last_arrival = sim.now
+                return float(sim.now)
+
+        self.servant = BenchServant()
+        self.server_orb = ORB(self.node1, profile, port=port, forced_method=forced_method)
+        self.client_orb = ORB(self.node0, profile, forced_method=forced_method)
+        reference = self.server_orb.activate_object(self.servant, self.interface, key="bench")
+        self.proxy = self.client_orb.object_to_proxy(reference, self.interface)
+
+    def setup(self):
+        # a first small invocation warms the GIOP connection up
+        yield from self.proxy.invoke("ping", b"x")
+
+    def pingpong(self, size: int):
+        payload = b"p" * size
+        t0 = self.sim.now
+        yield from self.proxy.invoke("ping", payload)
+        return self.sim.now - t0
+
+    def one_way(self, size: int):
+        payload = b"b" * size
+        t0 = self.sim.now
+        yield from self.proxy.invoke("transfer", payload)
+        return self.servant.last_arrival - t0
+
+
+class JavaSocketTransport(Transport):
+    """Java sockets + data streams (the Kaffe JVM socket layer)."""
+
+    name = "Java socket"
+
+    def __init__(self, fw, group, port: int = 4600, forced_method: Optional[str] = None, **kwargs):
+        super().__init__(fw, group, **kwargs)
+        from repro.middleware.javasockets import JavaSocketLayer
+
+        self.layer0 = JavaSocketLayer(self.node0, forced_method=forced_method)
+        self.layer1 = JavaSocketLayer(self.node1, forced_method=forced_method)
+        self.port = port
+        self.client = None
+        self.server = None
+
+    def setup(self):
+        server_socket = self.layer1.server_socket(self.port)
+        accept_gen = self.sim.process(server_socket.accept(), name="java-accept")
+        client = self.layer0.socket()
+        yield from client.connect(self.node1.host, self.port)
+        self.client = client
+        self.server = yield accept_gen
+
+    def pingpong(self, size: int):
+        payload = b"p" * size
+        t0 = self.sim.now
+        yield from self.client.write(payload)
+        data = yield from self.server.read(size)
+        yield from self.server.write(data)
+        yield from self.client.read(size)
+        return self.sim.now - t0
+
+    def one_way(self, size: int):
+        payload = b"b" * size
+        t0 = self.sim.now
+        yield from self.client.write(payload)
+        yield from self.server.read(size)
+        return self.sim.now - t0
+
+
+class SoapTransport(Transport):
+    """gSOAP-style SOAP RPC (used in the WAN experiment and examples)."""
+
+    name = "gSOAP"
+
+    def __init__(self, fw, group, port: int = 18100, **kwargs):
+        super().__init__(fw, group, **kwargs)
+        from repro.middleware.soap import SoapClient, SoapServer
+
+        self.server = SoapServer(self.node1, port)
+        self.arrivals = {}
+        sim = self.sim
+
+        def echo(data=b""):
+            return data
+
+        def transfer(data=b""):
+            self.arrivals["last"] = sim.now
+            return float(sim.now)
+
+        self.server.register("echo", echo)
+        self.server.register("transfer", transfer)
+        self.client = SoapClient(self.node0, self.node1.host, port)
+
+    def setup(self):
+        yield from self.client.call("echo", data=b"x")
+
+    def pingpong(self, size: int):
+        payload = b"p" * size
+        t0 = self.sim.now
+        yield from self.client.call("echo", data=payload)
+        return self.sim.now - t0
+
+    def one_way(self, size: int):
+        payload = b"b" * size
+        t0 = self.sim.now
+        yield from self.client.call("transfer", data=payload)
+        return self.arrivals["last"] - t0

@@ -1,0 +1,169 @@
+"""Declarative deployment configuration.
+
+PadicoTM deployments are described by configuration files listing clusters,
+their networks and the wide-area links between sites.  This module provides
+the equivalent declarative layer: a :class:`DeploymentConfig` can be built
+programmatically or parsed from a plain dictionary (e.g. loaded from JSON)
+and then *realised* into a :class:`~repro.core.framework.PadicoFramework`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.simnet.networks import (
+    Ethernet100,
+    GigabitEthernet,
+    LossyInternet,
+    Myrinet2000,
+    SciNetwork,
+    WanVthd,
+)
+from repro.core.framework import FrameworkError, PadicoFramework
+
+
+@dataclass
+class NodeSpec:
+    """One machine in the deployment."""
+
+    name: str
+    site: str = "default-site"
+
+
+@dataclass
+class ClusterSpec:
+    """A PC cluster: a set of nodes sharing a SAN and/or a LAN."""
+
+    name: str
+    nodes: List[str]
+    site: str = "default-site"
+    san: Optional[str] = "myrinet"      # "myrinet", "sci" or None
+    lan: Optional[str] = "ethernet100"  # "ethernet100", "gigabit" or None
+
+
+@dataclass
+class WanLinkSpec:
+    """A wide-area link between sites (every node of both sites is attached)."""
+
+    name: str
+    sites: List[str]
+    kind: str = "vthd"  # "vthd" or "lossy"
+    loss_rate: Optional[float] = None
+
+
+@dataclass
+class DeploymentConfig:
+    """A full grid deployment description."""
+
+    clusters: List[ClusterSpec] = field(default_factory=list)
+    wan_links: List[WanLinkSpec] = field(default_factory=list)
+    standalone_nodes: List[NodeSpec] = field(default_factory=list)
+
+    # -- construction helpers -------------------------------------------------
+    def add_cluster(self, name: str, nodes: Sequence[str], **kwargs) -> ClusterSpec:
+        spec = ClusterSpec(name=name, nodes=list(nodes), **kwargs)
+        self.clusters.append(spec)
+        return spec
+
+    def add_wan_link(self, name: str, sites: Sequence[str], **kwargs) -> WanLinkSpec:
+        spec = WanLinkSpec(name=name, sites=list(sites), **kwargs)
+        self.wan_links.append(spec)
+        return spec
+
+    def add_node(self, name: str, site: str = "default-site") -> NodeSpec:
+        spec = NodeSpec(name=name, site=site)
+        self.standalone_nodes.append(spec)
+        return spec
+
+    # -- (de)serialisation -----------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "clusters": [vars(c) for c in self.clusters],
+            "wan_links": [vars(w) for w in self.wan_links],
+            "nodes": [vars(n) for n in self.standalone_nodes],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "DeploymentConfig":
+        config = cls()
+        for c in data.get("clusters", []):
+            config.clusters.append(ClusterSpec(**c))
+        for w in data.get("wan_links", []):
+            config.wan_links.append(WanLinkSpec(**w))
+        for n in data.get("nodes", []):
+            config.standalone_nodes.append(NodeSpec(**n))
+        return config
+
+    # -- realisation -------------------------------------------------------------------
+    def all_node_names(self) -> List[str]:
+        names: List[str] = []
+        for c in self.clusters:
+            names.extend(c.nodes)
+        names.extend(n.name for n in self.standalone_nodes)
+        if len(set(names)) != len(names):
+            raise FrameworkError(f"duplicate node names in deployment: {names}")
+        return names
+
+    def realise(self, framework: Optional[PadicoFramework] = None) -> PadicoFramework:
+        """Build the simulated deployment described by this configuration."""
+        fw = framework or PadicoFramework()
+        sites_to_hosts: Dict[str, List[str]] = {}
+
+        for cluster in self.clusters:
+            for node_name in cluster.nodes:
+                fw.add_host(node_name, site=cluster.site)
+                sites_to_hosts.setdefault(cluster.site, []).append(node_name)
+            if cluster.san:
+                net = _make_san(fw, cluster)
+                for node_name in cluster.nodes:
+                    net.connect(fw.host(node_name))
+            if cluster.lan:
+                net = _make_lan(fw, cluster)
+                for node_name in cluster.nodes:
+                    net.connect(fw.host(node_name))
+
+        for node in self.standalone_nodes:
+            fw.add_host(node.name, site=node.site)
+            sites_to_hosts.setdefault(node.site, []).append(node.name)
+
+        for link in self.wan_links:
+            net = _make_wan(fw, link)
+            for site in link.sites:
+                for node_name in sites_to_hosts.get(site, []):
+                    net.connect(fw.host(node_name))
+        return fw
+
+
+def _make_san(fw: PadicoFramework, cluster: ClusterSpec):
+    name = f"{cluster.san}-{cluster.name}"
+    if cluster.san == "myrinet":
+        return fw.add_network(Myrinet2000(fw.sim, name))
+    if cluster.san == "sci":
+        return fw.add_network(SciNetwork(fw.sim, name))
+    raise FrameworkError(f"unknown SAN kind {cluster.san!r}")
+
+
+def _make_lan(fw: PadicoFramework, cluster: ClusterSpec):
+    name = f"{cluster.lan}-{cluster.name}"
+    if cluster.lan == "ethernet100":
+        return fw.add_network(Ethernet100(fw.sim, name))
+    if cluster.lan == "gigabit":
+        return fw.add_network(GigabitEthernet(fw.sim, name))
+    raise FrameworkError(f"unknown LAN kind {cluster.lan!r}")
+
+
+def _make_wan(fw: PadicoFramework, link: WanLinkSpec):
+    if link.kind == "vthd":
+        return fw.add_network(WanVthd(fw.sim, link.name))
+    if link.kind == "lossy":
+        kwargs = {}
+        if link.loss_rate is not None:
+            kwargs["loss_rate"] = link.loss_rate
+        return fw.add_network(LossyInternet(fw.sim, link.name, **kwargs))
+    raise FrameworkError(f"unknown WAN kind {link.kind!r}")
+
+
+def load_deployment(data: Dict) -> PadicoFramework:
+    """One-call helper: dictionary description → booted-ready framework."""
+    return DeploymentConfig.from_dict(data).realise()

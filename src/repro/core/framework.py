@@ -1,0 +1,294 @@
+"""The framework runtime: hosts, networks, per-node communication stacks.
+
+A :class:`PadicoFramework` owns the simulator, the topology knowledge base
+and the selector; a :class:`PadicoNode` is the per-host runtime (the
+analogue of one PadicoTM process) holding the NetAccess core, the MadIO and
+SysIO subsystems, the Madeleine driver, and the VLink / Circuit managers
+with the standard drivers and adapter factories registered.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.simnet.engine import Simulator
+from repro.simnet.host import CpuModel, Host, HostGroup
+from repro.simnet.network import Network
+from repro.simnet.networks import Ethernet100, Loopback, Myrinet2000
+from repro.simnet.tcp import TcpStack
+from repro.madeleine import MadeleineDriver
+from repro.arbitration import MadIO, NetAccessCore, SysIO
+from repro.abstraction import (
+    Circuit,
+    CircuitManager,
+    LoopbackCircuitAdapter,
+    LoopbackVLinkDriver,
+    MadIOCircuitAdapter,
+    MadIOVLinkDriver,
+    Preferences,
+    Selector,
+    SysIOCircuitAdapter,
+    SysIOVLinkDriver,
+    TopologyKB,
+    VLinkCircuitAdapter,
+    VLinkManager,
+)
+
+
+class FrameworkError(RuntimeError):
+    """Deployment / bootstrap errors."""
+
+
+class PadicoNode:
+    """The per-host runtime: one 'PadicoTM process' on one machine."""
+
+    def __init__(self, framework: "PadicoFramework", host: Host):
+        self.framework = framework
+        self.host = host
+        self.sim = host.sim
+        self.netaccess: Optional[NetAccessCore] = None
+        self.sysio: Optional[SysIO] = None
+        self.madio: Optional[MadIO] = None
+        self.madeleine: Optional[MadeleineDriver] = None
+        self.tcp: Optional[TcpStack] = None
+        self.vlink: Optional[VLinkManager] = None
+        self.circuits: Optional[CircuitManager] = None
+        self._booted = False
+        self._middleware: Dict[str, object] = {}
+
+    # -- bootstrap -------------------------------------------------------------
+    def boot(self) -> "PadicoNode":
+        """Instantiate the full communication stack on this host."""
+        if self._booted:
+            return self
+        host = self.host
+        selector = self.framework.selector
+        self.netaccess = NetAccessCore(host)
+
+        # Distributed side: OS TCP stack + SysIO subsystem.
+        has_ip = any(n.is_distributed for n in host.networks())
+        self.tcp = TcpStack(host)
+        if has_ip:
+            self.tcp.attach_all()
+        self.sysio = SysIO(self.netaccess, self.tcp)
+
+        # Parallel side: Madeleine + MadIO, attached to every SAN with the
+        # full set of hosts on that SAN as the hardware-channel group.
+        san_networks = [n for n in host.networks() if n.is_parallel and not isinstance(n, Loopback)]
+        if san_networks:
+            self.madeleine = MadeleineDriver(host)
+            self.madio = MadIO(self.netaccess, self.madeleine)
+            for network in san_networks:
+                group = self.framework.san_group(network)
+                self.madio.attach(network, group)
+
+        # Abstraction layer: VLink manager with its drivers.
+        self.vlink = VLinkManager(host, selector)
+        if self.sysio is not None:
+            self.vlink.register_driver(SysIOVLinkDriver(self.sysio))
+        if self.madio is not None:
+            for network in san_networks:
+                self.vlink.register_driver(MadIOVLinkDriver(self.madio, network))
+                break  # one madio VLink driver (first/fastest SAN)
+        self.vlink.register_driver(LoopbackVLinkDriver(host))
+
+        # Abstraction layer: Circuit manager with its adapter factories.
+        self.circuits = CircuitManager(host, selector)
+        if self.madio is not None:
+            self.circuits.register_adapter_factory(
+                "madio", lambda circuit, route: MadIOCircuitAdapter(circuit, route, self.madio)
+            )
+        self.circuits.register_adapter_factory(
+            "sysio", lambda circuit, route: SysIOCircuitAdapter(circuit, route, self.sysio)
+        )
+        self.circuits.register_adapter_factory(
+            "loopback", lambda circuit, route: LoopbackCircuitAdapter(circuit, route)
+        )
+        for vlink_method in ("parallel_streams", "vrp", "adoc"):
+            self.circuits.register_adapter_factory(
+                f"vlink:{vlink_method}",
+                lambda circuit, route, m=vlink_method: VLinkCircuitAdapter(
+                    circuit, route, self.vlink, method=m
+                ),
+            )
+        self._booted = True
+        return self
+
+    @property
+    def booted(self) -> bool:
+        return self._booted
+
+    # -- convenience -----------------------------------------------------------------
+    def circuit(self, name: str, group: HostGroup, **kwargs) -> Circuit:
+        """Create (or fetch) the local endpoint of a named circuit."""
+        self._require_boot()
+        return self.circuits.create(name, group, **kwargs)
+
+    def vlink_listen(self, port: int):
+        self._require_boot()
+        return self.vlink.listen(port)
+
+    def vlink_connect(self, dst: "PadicoNode | Host", port: int, method: Optional[str] = None):
+        self._require_boot()
+        dst_host = dst.host if isinstance(dst, PadicoNode) else dst
+        return self.vlink.connect(dst_host, port, method=method)
+
+    # -- middleware registry (per node) --------------------------------------------------
+    def register_middleware(self, name: str, instance: object) -> object:
+        """Record a middleware system loaded into this node (MPI, an ORB, ...)."""
+        self._middleware[name] = instance
+        return instance
+
+    def middleware(self, name: str) -> object:
+        try:
+            return self._middleware[name]
+        except KeyError:
+            raise FrameworkError(
+                f"middleware {name!r} not loaded on node {self.host.name!r}; "
+                f"loaded: {sorted(self._middleware)}"
+            ) from None
+
+    def loaded_middleware(self) -> List[str]:
+        return sorted(self._middleware)
+
+    def _require_boot(self) -> None:
+        if not self._booted:
+            raise FrameworkError(f"node {self.host.name!r} is not booted; call boot() first")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PadicoNode {self.host.name} booted={self._booted}>"
+
+
+class PadicoFramework:
+    """Owns the simulated deployment: hosts, networks, selector, nodes."""
+
+    def __init__(self, preferences: Optional[Preferences] = None):
+        self.sim = Simulator()
+        self.topology = TopologyKB()
+        self.preferences = preferences or Preferences()
+        self.selector = Selector(self.topology, self.preferences)
+        self._hosts: Dict[str, Host] = {}
+        self._nodes: Dict[str, PadicoNode] = {}
+        self._networks: Dict[str, Network] = {}
+        self._booted = False
+
+    # -- deployment construction ----------------------------------------------------
+    def add_network(self, network: Network) -> Network:
+        if network.name in self._networks:
+            raise FrameworkError(f"network name {network.name!r} already used")
+        self._networks[network.name] = network
+        self.topology.register_network(network)
+        return network
+
+    def network(self, name: str) -> Network:
+        try:
+            return self._networks[name]
+        except KeyError:
+            raise FrameworkError(f"unknown network {name!r}") from None
+
+    def networks(self) -> List[Network]:
+        return list(self._networks.values())
+
+    def add_host(
+        self, name: str, *, cpu: Optional[CpuModel] = None, site: str = "default-site"
+    ) -> Host:
+        if name in self._hosts:
+            raise FrameworkError(f"host name {name!r} already used")
+        host = Host(self.sim, name, cpu=cpu)
+        host.site = site
+        self._hosts[name] = host
+        self.topology.register_host(host)
+        return host
+
+    def host(self, name: str) -> Host:
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise FrameworkError(f"unknown host {name!r}") from None
+
+    def hosts(self, names: Optional[Iterable[str]] = None) -> List[Host]:
+        if names is None:
+            return list(self._hosts.values())
+        return [self.host(n) for n in names]
+
+    def attach(self, host_name: str, network_name: str) -> None:
+        """Connect a host to a network."""
+        self.network(network_name).connect(self.host(host_name))
+
+    def add_cluster(
+        self,
+        names: Sequence[str],
+        *,
+        site: str = "default-site",
+        myrinet: bool = True,
+        ethernet: bool = True,
+        myrinet_name: Optional[str] = None,
+        ethernet_name: Optional[str] = None,
+        cpu: Optional[CpuModel] = None,
+    ) -> HostGroup:
+        """Convenience: add a PC cluster with a SAN and/or a LAN."""
+        hosts = [self.add_host(n, site=site, cpu=cpu) for n in names]
+        if myrinet:
+            myri = self.add_network(Myrinet2000(self.sim, myrinet_name or f"myri-{site}"))
+            for h in hosts:
+                myri.connect(h)
+        if ethernet:
+            eth = self.add_network(Ethernet100(self.sim, ethernet_name or f"eth-{site}"))
+            for h in hosts:
+                eth.connect(h)
+        return HostGroup(f"cluster-{site}", hosts)
+
+    def group(self, names: Sequence[str], group_name: str = "group") -> HostGroup:
+        """Build a host group (the unit Circuit works on) from host names."""
+        return HostGroup(group_name, [self.host(n) for n in names])
+
+    def san_group(self, network: Network) -> HostGroup:
+        """The hardware-channel group for a SAN: every host attached to it."""
+        return HostGroup(f"san-{network.name}", network.hosts())
+
+    # -- boot ------------------------------------------------------------------------------
+    def boot(self, names: Optional[Iterable[str]] = None) -> List[PadicoNode]:
+        """Boot the per-host runtimes (all hosts by default)."""
+        targets = list(names) if names is not None else list(self._hosts)
+        nodes = []
+        for name in targets:
+            node = self._nodes.get(name)
+            if node is None:
+                node = PadicoNode(self, self.host(name))
+                self._nodes[name] = node
+            node.boot()
+            nodes.append(node)
+        self._booted = True
+        return nodes
+
+    def node(self, name: str) -> PadicoNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise FrameworkError(
+                f"host {name!r} has not been booted; call framework.boot() first"
+            ) from None
+
+    def nodes(self) -> List[PadicoNode]:
+        return list(self._nodes.values())
+
+    # -- running ----------------------------------------------------------------------------
+    def run(self, until=None, max_time: Optional[float] = None):
+        """Run the simulation (see :meth:`repro.simnet.engine.Simulator.run`)."""
+        return self.sim.run(until=until, max_time=max_time)
+
+    def process(self, gen, name: str = ""):
+        """Register an application process (a generator yielding events)."""
+        return self.sim.process(gen, name=name)
+
+    def status_report(self) -> Dict[str, object]:
+        """A serialisable snapshot of the deployment (used by examples)."""
+        return {
+            "hosts": sorted(self._hosts),
+            "networks": self.topology.describe()["networks"],
+            "booted_nodes": sorted(self._nodes),
+            "adjacency": {f"{a}--{b}": c for (a, b), c in self.topology.adjacency().items()},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PadicoFramework hosts={len(self._hosts)} networks={len(self._networks)}>"

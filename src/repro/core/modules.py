@@ -1,0 +1,104 @@
+"""Dynamically loadable middleware modules.
+
+PadicoTM loads middleware systems (MPI, the CORBA ORBs, the JVM, ...) as
+dynamically loaded binary modules inside one process; "the middleware
+systems are dynamically loadable into PadicoTM.  Arbitration guarantees that
+any combination of them may be used at the same time." (§4.3)
+
+The Python analogue is a registry of middleware *factories*: each factory
+knows how to instantiate one middleware system on a booted
+:class:`~repro.core.framework.PadicoNode`.  The registry records which
+paradigm and which personality a middleware relies on, which the tests use
+to check the "any combination, at the same time" property systematically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass
+class ModuleInfo:
+    """Metadata for one loadable middleware module."""
+
+    name: str
+    paradigm: str                      # "parallel" or "distributed"
+    personality: str                   # which personality it sits on
+    description: str = ""
+    factory: Optional[Callable] = None
+    requires: List[str] = field(default_factory=list)
+
+    def instantiate(self, node, **kwargs):
+        if self.factory is None:
+            raise LookupError(f"module {self.name!r} has no factory registered")
+        instance = self.factory(node, **kwargs)
+        node.register_middleware(self.name, instance)
+        return instance
+
+
+class ModuleRegistry:
+    """A registry of middleware modules available to the framework."""
+
+    def __init__(self) -> None:
+        self._modules: Dict[str, ModuleInfo] = {}
+
+    def register(
+        self,
+        name: str,
+        *,
+        paradigm: str,
+        personality: str,
+        factory: Optional[Callable] = None,
+        description: str = "",
+        requires: Optional[List[str]] = None,
+        replace: bool = False,
+    ) -> ModuleInfo:
+        if paradigm not in ("parallel", "distributed"):
+            raise ValueError(f"paradigm must be 'parallel' or 'distributed', got {paradigm!r}")
+        if name in self._modules and not replace:
+            return self._modules[name]
+        info = ModuleInfo(
+            name=name,
+            paradigm=paradigm,
+            personality=personality,
+            description=description,
+            factory=factory,
+            requires=list(requires or []),
+        )
+        self._modules[name] = info
+        return info
+
+    def get(self, name: str) -> ModuleInfo:
+        try:
+            return self._modules[name]
+        except KeyError:
+            raise LookupError(
+                f"unknown middleware module {name!r}; known: {sorted(self._modules)}"
+            ) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._modules)
+
+    def by_paradigm(self, paradigm: str) -> List[ModuleInfo]:
+        return [m for m in self._modules.values() if m.paradigm == paradigm]
+
+    def load(self, name: str, node, **kwargs):
+        """Instantiate module ``name`` on ``node`` (loading dependencies first)."""
+        info = self.get(name)
+        for dep in info.requires:
+            if dep not in node.loaded_middleware():
+                self.load(dep, node)
+        return info.instantiate(node, **kwargs)
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+
+#: process-wide registry populated by :mod:`repro.middleware` at import time.
+_GLOBAL = ModuleRegistry()
+
+
+def global_registry() -> ModuleRegistry:
+    """The process-wide middleware module registry."""
+    return _GLOBAL

@@ -1,0 +1,101 @@
+"""Ready-made testbeds matching the paper's evaluation platforms (§5).
+
+* :func:`paper_cluster` — "dual-Pentium III 1 GHz with 512 MB RAM, switched
+  Ethernet-100, Myrinet-2000 and Linux 2.2": a cluster whose nodes carry both
+  a Myrinet-2000 SAN and a Fast-Ethernet LAN.
+* :func:`paper_wan_pair` — two sites joined by the VTHD high-bandwidth WAN,
+  each node reaching it through its Ethernet-100 access link.
+* :func:`paper_lossy_pair` — the slow trans-continental Internet link with a
+  5–10 % loss rate used for the VRP experiment.
+* :func:`two_cluster_grid` — the "component grid" scenario of §2.1: two
+  clusters (each with its own SAN) joined by the VTHD WAN.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.simnet.host import HostGroup
+from repro.simnet.networks import LossyInternet, WanVthd
+from repro.abstraction import Preferences
+from repro.core.framework import PadicoFramework
+
+
+def paper_cluster(
+    n_nodes: int = 2,
+    *,
+    preferences: Optional[Preferences] = None,
+    myrinet: bool = True,
+    ethernet: bool = True,
+) -> Tuple[PadicoFramework, HostGroup]:
+    """The paper's Myrinet-2000 + Ethernet-100 cluster, booted and ready."""
+    fw = PadicoFramework(preferences=preferences)
+    names = [f"node{i}" for i in range(n_nodes)]
+    group = fw.add_cluster(names, site="rennes", myrinet=myrinet, ethernet=ethernet)
+    fw.boot()
+    return fw, group
+
+
+def paper_wan_pair(
+    *,
+    preferences: Optional[Preferences] = None,
+    access_ethernet: bool = True,
+) -> Tuple[PadicoFramework, HostGroup]:
+    """Two nodes on different sites joined by the VTHD WAN."""
+    fw = PadicoFramework(preferences=preferences)
+    a = fw.add_host("rennes0", site="rennes")
+    b = fw.add_host("grenoble0", site="grenoble")
+    wan = fw.add_network(WanVthd(fw.sim, "vthd"))
+    wan.connect(a)
+    wan.connect(b)
+    if access_ethernet:
+        # Each node also has a local Ethernet (not shared between the sites).
+        from repro.simnet.networks import Ethernet100
+
+        eth_a = fw.add_network(Ethernet100(fw.sim, "eth-rennes"))
+        eth_b = fw.add_network(Ethernet100(fw.sim, "eth-grenoble"))
+        eth_a.connect(a)
+        eth_b.connect(b)
+    fw.boot()
+    return fw, HostGroup("wan-pair", [a, b])
+
+
+def paper_lossy_pair(
+    *,
+    loss_rate: float = 0.07,
+    preferences: Optional[Preferences] = None,
+) -> Tuple[PadicoFramework, HostGroup]:
+    """Two nodes across the slow, lossy trans-continental Internet link."""
+    fw = PadicoFramework(preferences=preferences)
+    a = fw.add_host("rennes0", site="rennes")
+    b = fw.add_host("faraway0", site="faraway")
+    link = fw.add_network(LossyInternet(fw.sim, "transcontinental", loss_rate=loss_rate))
+    link.connect(a)
+    link.connect(b)
+    fw.boot()
+    return fw, HostGroup("lossy-pair", [a, b])
+
+
+def two_cluster_grid(
+    nodes_per_cluster: int = 2,
+    *,
+    preferences: Optional[Preferences] = None,
+) -> Tuple[PadicoFramework, HostGroup, HostGroup, HostGroup]:
+    """Two Myrinet clusters on different sites joined by the VTHD WAN.
+
+    Returns ``(framework, cluster_a, cluster_b, whole_grid)`` host groups —
+    the deployment of the parallel-component scenario of §2.1, where an
+    MPI-style code runs inside each cluster and a distributed middleware
+    couples the two across the WAN.
+    """
+    fw = PadicoFramework(preferences=preferences)
+    names_a = [f"ra{i}" for i in range(nodes_per_cluster)]
+    names_b = [f"gb{i}" for i in range(nodes_per_cluster)]
+    cluster_a = fw.add_cluster(names_a, site="rennes", myrinet=True, ethernet=True)
+    cluster_b = fw.add_cluster(names_b, site="grenoble", myrinet=True, ethernet=True)
+    wan = fw.add_network(WanVthd(fw.sim, "vthd"))
+    for host in list(cluster_a) + list(cluster_b):
+        wan.connect(host)
+    fw.boot()
+    grid = HostGroup("grid", list(cluster_a) + list(cluster_b))
+    return fw, cluster_a, cluster_b, grid

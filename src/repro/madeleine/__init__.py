@@ -1,0 +1,43 @@
+"""A Madeleine-like high-performance communication library.
+
+PadicoTM builds its parallel-paradigm arbitration subsystem (MadIO) on the
+Madeleine library [Aumage et al., CLUSTER 2000]: a portable message-passing
+layer for SANs (Myrinet/GM, BIP, SCI, VIA) offering *incremental packing*
+with explicit semantics and as many communication channels as the hardware
+allows (e.g. two over Myrinet, one over SCI).
+
+This package re-implements that substrate on top of :mod:`repro.simnet`:
+
+* :class:`~repro.madeleine.driver.MadeleineDriver` — the per-host library
+  instance, owner of the SAN NICs.
+* :class:`~repro.madeleine.driver.MadChannel` — a hardware-backed channel
+  over one SAN for a fixed set of hosts (the count is limited by the
+  network's ``hardware_channels``; logical multiplexing is MadIO's job).
+* :class:`~repro.madeleine.message.MadMessage` /
+  :class:`~repro.madeleine.message.MadIncoming` — incremental packing and
+  unpacking with ``express`` / ``cheaper`` semantics.
+"""
+
+from repro.madeleine.message import (
+    PackMode,
+    MadMessage,
+    MadIncoming,
+    MadeleineError,
+)
+from repro.madeleine.driver import (
+    MadeleineDriver,
+    MadChannel,
+    MadConnection,
+    MADELEINE_SERVICE,
+)
+
+__all__ = [
+    "PackMode",
+    "MadMessage",
+    "MadIncoming",
+    "MadeleineError",
+    "MadeleineDriver",
+    "MadChannel",
+    "MadConnection",
+    "MADELEINE_SERVICE",
+]

@@ -1,0 +1,47 @@
+"""Alternate communication methods (§3.2).
+
+"Even if a straight adapter is available, it is not always the better
+method, especially on distributed-oriented networks."  The paper lists four
+families of alternate methods, all reproduced here as additional VLink
+drivers (plus a wrapping security layer), so that the selector can prefer
+them per link class and middleware systems use them *without changing a
+line*:
+
+* :mod:`repro.methods.parallel_streams` — multiple sockets per logical link
+  on high-bandwidth, high-latency WANs (the GridFTP trick).
+* :mod:`repro.methods.adoc` — AdOC-style adaptive online compression for
+  slow links (real zlib compression, adaptive per block).
+* :mod:`repro.methods.vrp` — VRP, a protocol with a *tunable* loss tolerance
+  for lossy WANs: give up a bounded amount of reliability for bandwidth.
+* :mod:`repro.methods.security` — GSI-style authentication + ciphering for
+  links that cross administrative sites.
+"""
+
+from repro.methods.parallel_streams import ParallelStreamsVLinkDriver, ParallelStreamConnection
+from repro.methods.adoc import AdocVLinkDriver, AdocConnection, AdocCodec
+from repro.methods.vrp import VrpVLinkDriver, VrpConnection, VrpStats
+from repro.methods.security import SecureVLinkDriver, SecureConnection, SiteCredential
+
+__all__ = [
+    "ParallelStreamsVLinkDriver",
+    "ParallelStreamConnection",
+    "AdocVLinkDriver",
+    "AdocConnection",
+    "AdocCodec",
+    "VrpVLinkDriver",
+    "VrpConnection",
+    "VrpStats",
+    "SecureVLinkDriver",
+    "SecureConnection",
+    "SiteCredential",
+]
+
+
+def register_method_drivers(node, *, streams: int = 4, vrp_tolerance: float = 0.10) -> None:
+    """Register every method driver on a booted node's VLink manager."""
+    manager = node.vlink
+    sysio = node.sysio
+    manager.register_driver(ParallelStreamsVLinkDriver(sysio, streams=streams))
+    manager.register_driver(AdocVLinkDriver(sysio))
+    manager.register_driver(VrpVLinkDriver(sysio, tolerance=vrp_tolerance))
+    manager.register_driver(SecureVLinkDriver(sysio))

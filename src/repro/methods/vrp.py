@@ -1,0 +1,334 @@
+"""VRP: the Variable Reliability Protocol (tunable loss tolerance).
+
+"On slow WAN which suffer from high loss-rate, applications may prefer to
+give up reliability against a better bandwidth, but not accept totally
+uncontrollable losses.  Such a tunable tradeoff is implemented in VRP, a
+protocol with a tunable loss tolerance." (§3.2)  §5 measures it on a
+trans-continental link with 5–10 % loss: plain TCP gets 150 KB/s, VRP with a
+10 % tolerated loss gets ≈500 KB/s.
+
+Protocol structure reproduced here:
+
+* a small TCP control connection carries connection setup, record
+  descriptors and end-of-record summaries — metadata is always reliable;
+* record payloads are sent as UDP-like datagrams (``transmit_datagram`` on
+  the lossy network), paced at the path rate — losses do NOT trigger
+  congestion back-off, which is exactly why VRP keeps its bandwidth where
+  TCP collapses;
+* when the observed loss for a record exceeds the tolerance, the missing
+  fraction (beyond what is tolerated) is retransmitted until the delivered
+  fraction meets the target; tolerated holes are zero-filled so the layer
+  above still sees a stream of the right length.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.simnet.cost import MICROSECOND, Cost
+from repro.simnet.engine import SimEvent
+from repro.simnet.host import Host
+from repro.simnet.network import Delivery, Network
+from repro.arbitration.sysio import SysIO, SysSocket
+from repro.abstraction.drivers import StreamBuffer, VLinkDriver
+
+_CTL_RECORD = struct.Struct("!BQII")   # kind, record id, total length, chunk size
+_DATA_HEADER = struct.Struct("!QII")   # record id, offset, length
+
+_CTL_NEW_RECORD = 1
+_CTL_RECORD_SENT = 2
+_CTL_RECORD_DONE = 3
+_CTL_NACK = 4
+
+VRP_CALL_OVERHEAD = 4.0 * MICROSECOND
+
+
+@dataclass
+class VrpStats:
+    """Per-connection accounting of the reliability trade-off."""
+
+    records: int = 0
+    datagrams_sent: int = 0
+    datagrams_lost: int = 0
+    retransmissions: int = 0
+    bytes_delivered: int = 0
+    bytes_zero_filled: int = 0
+
+    @property
+    def observed_loss(self) -> float:
+        if self.datagrams_sent == 0:
+            return 0.0
+        return self.datagrams_lost / self.datagrams_sent
+
+
+class _RecordRx:
+    """Receive-side state of one record."""
+
+    def __init__(self, record_id: int, total: int):
+        self.record_id = record_id
+        self.total = total
+        self.data = bytearray(total)
+        self.received = 0
+        self.sender_finished = False
+        self._seen_offsets: set = set()
+
+    def add(self, offset: int, chunk: bytes) -> None:
+        self.data[offset : offset + len(chunk)] = chunk
+        # retransmitted chunks must not be double-counted
+        if offset not in self._seen_offsets:
+            self._seen_offsets.add(offset)
+            self.received += len(chunk)
+
+    @property
+    def delivered_fraction(self) -> float:
+        return self.received / self.total if self.total else 1.0
+
+
+class VrpConnection:
+    """One VRP logical link (control over TCP, data over lossy datagrams)."""
+
+    def __init__(self, driver: "VrpVLinkDriver", ctl: SysSocket, network: Network,
+                 peer_host: Host, data_channel_id: int):
+        self.driver = driver
+        self.sim = driver.sim
+        self.ctl = ctl
+        self.network = network
+        self.peer_host = peer_host
+        self.peer_name = peer_host.name
+        self.data_channel_id = data_channel_id
+        self.tolerance = driver.tolerance
+        self.chunk_size = min(network.mtu, 1400)
+        self.buffer = StreamBuffer(driver.sim)
+        self.stats = VrpStats()
+        self._ctl_rx = bytearray()
+        self._records_rx: Dict[int, _RecordRx] = {}
+        self._records_tx: Dict[int, bytes] = {}
+        self._pending_writes: Dict[int, SimEvent] = {}
+        self._next_record = 0
+        self.closed = False
+        ctl.set_data_callback(self._on_ctl_data)
+        driver._register_data_sink(data_channel_id, self)
+
+    # -- driver-connection interface --------------------------------------------------
+    def write(self, data: bytes) -> SimEvent:
+        if self.closed:
+            raise ConnectionError("write() on closed VRP connection")
+        record_id = self._next_record
+        self._next_record += 1
+        data = bytes(data)
+        self._records_tx[record_id] = data
+        self.stats.records += 1
+        done = self.sim.event(name=f"vrp-write({len(data)}B)")
+        self._pending_writes[record_id] = done
+        # reliable descriptor first, then paced datagrams
+        self.ctl.write(_CTL_RECORD.pack(_CTL_NEW_RECORD, record_id, len(data), self.chunk_size))
+        self.sim.call_later(VRP_CALL_OVERHEAD, self._pump_record, record_id, 0)
+        return done
+
+    def recv(self, nbytes: Optional[int] = None) -> SimEvent:
+        return self.buffer.recv(nbytes)
+
+    def recv_exact(self, nbytes: int) -> SimEvent:
+        return self.buffer.recv_exact(nbytes)
+
+    def available(self) -> int:
+        return self.buffer.available()
+
+    def read_available(self, limit: Optional[int] = None) -> bytes:
+        return self.buffer.read_available(limit)
+
+    def set_data_callback(self, fn) -> None:
+        if fn is None:
+            self.buffer.set_data_callback(None)
+        else:
+            self.buffer.set_data_callback(lambda: fn(self))
+
+    def close(self) -> None:
+        self.closed = True
+        self.ctl.close()
+        self.buffer.close()
+
+    # -- sender side --------------------------------------------------------------------
+    def _pump_record(self, record_id: int, offset: int) -> None:
+        """Send the next datagram of the record, paced at the path rate."""
+        if self.closed:
+            return
+        data = self._records_tx.get(record_id)
+        if data is None:
+            return
+        if offset >= len(data):
+            self.ctl.write(_CTL_RECORD.pack(_CTL_RECORD_SENT, record_id, len(data), self.chunk_size))
+            return
+        chunk = data[offset : offset + self.chunk_size]
+        header = _DATA_HEADER.pack(record_id, offset, len(chunk))
+        self.stats.datagrams_sent += 1
+        frame = self.network.transmit_datagram(
+            self.driver.host,
+            self.peer_host,
+            header + chunk,
+            channel=("vrp-data", self.data_channel_id),
+            send_cost=Cost().charge(VRP_CALL_OVERHEAD, "vrp.send"),
+        )
+        if frame is None:
+            self.stats.datagrams_lost += 1
+        # pace at the wire rate: next datagram when this one has been serialised
+        pace = self.network.serialization_time(len(chunk) + _DATA_HEADER.size)
+        self.sim.call_later(pace, self._pump_record, record_id, offset + len(chunk))
+
+    def _retransmit(self, record_id: int, missing_bytes: int) -> None:
+        """Resend the first ``missing_bytes`` worth of chunks of the record."""
+        data = self._records_tx.get(record_id)
+        if data is None or missing_bytes <= 0:
+            return
+        self.stats.retransmissions += 1
+        # Simplified selective repeat: resend from the start of the record up
+        # to the missing amount (the receiver fills whatever is still absent).
+        self.sim.call_later(0.0, self._pump_record, record_id, 0)
+
+    # -- receiver side -----------------------------------------------------------------------
+    def _on_datagram(self, delivery: Delivery) -> None:
+        payload = delivery.payload
+        record_id, offset, length = _DATA_HEADER.unpack_from(payload, 0)
+        chunk = payload[_DATA_HEADER.size : _DATA_HEADER.size + length]
+        record = self._records_rx.get(record_id)
+        if record is None:
+            # descriptor may still be in flight on the control connection;
+            # create a placeholder sized by what we know so far.
+            record = _RecordRx(record_id, offset + length)
+            self._records_rx[record_id] = record
+        if offset + length > record.total:
+            record.total = offset + length
+            record.data.extend(b"\x00" * (offset + length - len(record.data)))
+        record.add(offset, chunk)
+        if record.sender_finished:
+            self._maybe_complete(record)
+
+    def _on_ctl_data(self, _sock: SysSocket) -> None:
+        self._ctl_rx += self.ctl.read_available()
+        while len(self._ctl_rx) >= _CTL_RECORD.size:
+            kind, record_id, total, chunk_size = _CTL_RECORD.unpack_from(self._ctl_rx, 0)
+            del self._ctl_rx[: _CTL_RECORD.size]
+            if kind == _CTL_NEW_RECORD:
+                record = self._records_rx.get(record_id)
+                if record is None:
+                    self._records_rx[record_id] = _RecordRx(record_id, total)
+                else:
+                    record.total = total
+                    if len(record.data) < total:
+                        record.data.extend(b"\x00" * (total - len(record.data)))
+            elif kind == _CTL_RECORD_SENT:
+                record = self._records_rx.setdefault(record_id, _RecordRx(record_id, total))
+                record.sender_finished = True
+                self._maybe_complete(record)
+            elif kind == _CTL_NACK:
+                self._retransmit(record_id, total)
+            elif kind == _CTL_RECORD_DONE:
+                done = self._pending_writes.pop(record_id, None)
+                self._records_tx.pop(record_id, None)
+                if done is not None and not done.triggered:
+                    done.succeed(total)
+
+    def _maybe_complete(self, record: _RecordRx) -> None:
+        if not record.sender_finished:
+            return
+        missing = record.total - record.received
+        if missing <= record.total * self.tolerance:
+            # accept the record: tolerated holes stay zero-filled
+            self.stats.bytes_delivered += record.received
+            self.stats.bytes_zero_filled += missing
+            self.buffer.append(bytes(record.data[: record.total]))
+            self._records_rx.pop(record.record_id, None)
+            self.ctl.write(
+                _CTL_RECORD.pack(_CTL_RECORD_DONE, record.record_id, record.total, 0)
+            )
+        else:
+            # too many losses: ask the sender to resend (reliable part of VRP)
+            record.sender_finished = False
+            self.ctl.write(_CTL_RECORD.pack(_CTL_NACK, record.record_id, missing, 0))
+
+
+class VrpVLinkDriver(VLinkDriver):
+    """The ``vrp`` VLink driver."""
+
+    name = "vrp"
+
+    #: the driver listens on its own SysIO port range so that several
+    #: VLink drivers can serve the same logical VLink port side by side.
+    PORT_OFFSET = 120000
+
+    def __init__(self, sysio: SysIO, tolerance: float = 0.10):
+        super().__init__(sysio.host)
+        if not (0.0 <= tolerance < 1.0):
+            raise ValueError("tolerance must be in [0, 1)")
+        self.sysio = sysio
+        self.tolerance = tolerance
+        self._sinks: Dict[int, VrpConnection] = {}
+        self._next_channel = (hash(self.host.name) & 0xFFF) << 16
+        self._datagram_handler_installed: Dict[str, bool] = {}
+
+    # -- datagram demultiplexing -------------------------------------------------------
+    def _register_data_sink(self, channel_id: int, conn: VrpConnection) -> None:
+        self._sinks[channel_id] = conn
+        self._install_datagram_tap(conn.network)
+
+    def _install_datagram_tap(self, network: Network) -> None:
+        """VRP data rides the same NIC the TCP stack owns; tap its handler."""
+        if self._datagram_handler_installed.get(network.name):
+            return
+        nic = network.nic_of(self.host)
+        tcp_handler = nic._receive_handler
+
+        def _handler(delivery: Delivery) -> None:
+            channel = delivery.frame.channel
+            if isinstance(channel, tuple) and channel and channel[0] == "vrp-data":
+                sink = self._sinks.get(channel[1])
+                if sink is not None:
+                    sink._on_datagram(delivery)
+                return
+            if tcp_handler is not None:
+                tcp_handler(delivery)
+
+        nic.set_receive_handler(_handler, owner=nic.owner or "os-tcp")
+        self._datagram_handler_installed[network.name] = True
+
+    # -- connection setup -----------------------------------------------------------------
+    def listen(self, port: int, on_incoming: Callable) -> None:
+        def _accepted(ctl_sock: SysSocket) -> None:
+            def _on_hello(s: SysSocket) -> None:
+                if s.available() < 8:
+                    return
+                channel_id = struct.unpack("!Q", s.read_available(8))[0]
+                s.set_data_callback(None)
+                conn = VrpConnection(
+                    self, s, s.network, s.conn.peer_host, channel_id
+                )
+                on_incoming(conn, s.conn.peer_host)
+
+            ctl_sock.set_data_callback(_on_hello)
+            _on_hello(ctl_sock)
+
+        self.sysio.listen(port + self.PORT_OFFSET, _accepted)
+
+    def connect(self, dst_host: Host, port: int) -> SimEvent:
+        done = self.sim.event(name=f"vrp-connect({dst_host.name}:{port})")
+        channel_id = self._next_channel
+        self._next_channel += 1
+
+        def _connected(ev) -> None:
+            if not ev.ok:
+                done.fail(ev.value)
+                return
+            ctl_sock: SysSocket = ev.value
+            ctl_sock.write(struct.pack("!Q", channel_id))
+            conn = VrpConnection(self, ctl_sock, ctl_sock.network, dst_host, channel_id)
+            done.succeed(conn)
+
+        self.sysio.connect(dst_host, port + self.PORT_OFFSET).add_callback(_connected)
+        return done
+
+    def reaches(self, dst_host: Host) -> bool:
+        return any(
+            net.paradigm == "distributed" for net in self.host.shares_network_with(dst_host)
+        )

@@ -1,0 +1,81 @@
+"""A CORBA middleware (ORB, CDR marshalling, GIOP) with per-implementation profiles.
+
+The paper runs four unmodified ORBs inside PadicoTM through the SysWrap
+personality: omniORB 3, omniORB 4, Mico 2.3.x and ORBacus 4.0.5.  Their very
+different Figure-3 plateaus (≈238, ≈236, ≈55 and ≈63 MB/s) come from their
+internal marshalling strategy — omniORB marshals without copying, Mico and
+ORBacus "always copy data for marshalling and unmarshalling" (§5).
+
+This package provides one ORB engine written against SysWrap sockets and an
+:class:`~repro.middleware.corba.profiles.OrbProfile` per implementation that
+sets the per-call overhead and the (possibly copying) marshalling bandwidth,
+so the same mechanism reproduces all four curves.
+"""
+
+from repro.middleware.corba.cdr import (
+    CdrError,
+    CdrInputStream,
+    CdrOutputStream,
+    TypeCode,
+    TC_BOOLEAN,
+    TC_DOUBLE,
+    TC_FLOAT,
+    TC_LONG,
+    TC_LONGLONG,
+    TC_OCTET,
+    TC_OCTET_SEQ,
+    TC_DOUBLE_SEQ,
+    TC_LONG_SEQ,
+    TC_STRING,
+    TC_VOID,
+    StructTC,
+    SequenceTC,
+)
+from repro.middleware.corba.giop import GiopError, GiopMessage, MSG_REPLY, MSG_REQUEST
+from repro.middleware.corba.idl import Interface, Operation
+from repro.middleware.corba.profiles import (
+    OrbProfile,
+    OMNIORB_3,
+    OMNIORB_4,
+    MICO_2_3_7,
+    ORBACUS_4_0_5,
+    ORB_PROFILES,
+)
+from repro.middleware.corba.orb import ORB, CorbaError, ObjectReference, Proxy, Servant
+
+__all__ = [
+    "CdrError",
+    "CdrInputStream",
+    "CdrOutputStream",
+    "TypeCode",
+    "TC_BOOLEAN",
+    "TC_DOUBLE",
+    "TC_FLOAT",
+    "TC_LONG",
+    "TC_LONGLONG",
+    "TC_OCTET",
+    "TC_OCTET_SEQ",
+    "TC_DOUBLE_SEQ",
+    "TC_LONG_SEQ",
+    "TC_STRING",
+    "TC_VOID",
+    "StructTC",
+    "SequenceTC",
+    "GiopError",
+    "GiopMessage",
+    "MSG_REQUEST",
+    "MSG_REPLY",
+    "Interface",
+    "Operation",
+    "OrbProfile",
+    "OMNIORB_3",
+    "OMNIORB_4",
+    "MICO_2_3_7",
+    "ORBACUS_4_0_5",
+    "ORB_PROFILES",
+    "ORB",
+    "CorbaError",
+    "ObjectReference",
+    "Proxy",
+    "Servant",
+]

@@ -1,0 +1,275 @@
+"""CDR (Common Data Representation) marshalling.
+
+A real, big-endian CDR encoder/decoder with the alignment rules of the OMG
+specification (each primitive aligned on its natural boundary relative to
+the start of the stream).  Supports the primitive types used by the
+reproduction's IDL interfaces plus strings, octet/typed sequences and
+structs.  Property-based tests round-trip arbitrary values through it.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+class CdrError(RuntimeError):
+    """Marshalling errors (truncated buffers, type mismatches, ...)."""
+
+
+class CdrOutputStream:
+    """Encoder: appends CDR-encoded values to a growing buffer."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def _align(self, boundary: int) -> None:
+        pad = (-len(self._buf)) % boundary
+        self._buf += b"\x00" * pad
+
+    def _pack(self, fmt: str, boundary: int, value) -> None:
+        self._align(boundary)
+        self._buf += struct.pack(fmt, value)
+
+    # primitives --------------------------------------------------------------
+    def put_octet(self, value: int) -> None:
+        self._pack("!B", 1, value)
+
+    def put_boolean(self, value: bool) -> None:
+        self._pack("!B", 1, 1 if value else 0)
+
+    def put_short(self, value: int) -> None:
+        self._pack("!h", 2, value)
+
+    def put_long(self, value: int) -> None:
+        self._pack("!i", 4, value)
+
+    def put_ulong(self, value: int) -> None:
+        self._pack("!I", 4, value)
+
+    def put_longlong(self, value: int) -> None:
+        self._pack("!q", 8, value)
+
+    def put_float(self, value: float) -> None:
+        self._pack("!f", 4, value)
+
+    def put_double(self, value: float) -> None:
+        self._pack("!d", 8, value)
+
+    def put_string(self, value: str) -> None:
+        raw = value.encode("utf-8") + b"\x00"
+        self.put_ulong(len(raw))
+        self._buf += raw
+
+    def put_octet_sequence(self, value: bytes) -> None:
+        self.put_ulong(len(value))
+        self._buf += value
+
+    def put_raw(self, value: bytes) -> None:
+        self._buf += value
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buf)
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+
+class CdrInputStream:
+    """Decoder: reads CDR-encoded values sequentially."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+
+    def _align(self, boundary: int) -> None:
+        self._pos += (-self._pos) % boundary
+
+    def _unpack(self, fmt: str, boundary: int, size: int):
+        self._align(boundary)
+        if self._pos + size > len(self._data):
+            raise CdrError(
+                f"truncated CDR stream: need {size} bytes at offset {self._pos}, "
+                f"have {len(self._data) - self._pos}"
+            )
+        (value,) = struct.unpack_from(fmt, self._data, self._pos)
+        self._pos += size
+        return value
+
+    # primitives --------------------------------------------------------------
+    def get_octet(self) -> int:
+        return self._unpack("!B", 1, 1)
+
+    def get_boolean(self) -> bool:
+        return bool(self._unpack("!B", 1, 1))
+
+    def get_short(self) -> int:
+        return self._unpack("!h", 2, 2)
+
+    def get_long(self) -> int:
+        return self._unpack("!i", 4, 4)
+
+    def get_ulong(self) -> int:
+        return self._unpack("!I", 4, 4)
+
+    def get_longlong(self) -> int:
+        return self._unpack("!q", 8, 8)
+
+    def get_float(self) -> float:
+        return self._unpack("!f", 4, 4)
+
+    def get_double(self) -> float:
+        return self._unpack("!d", 8, 8)
+
+    def get_string(self) -> str:
+        length = self.get_ulong()
+        raw = self.get_bytes(length)
+        if not raw.endswith(b"\x00"):
+            raise CdrError("CDR string is not NUL-terminated")
+        return raw[:-1].decode("utf-8")
+
+    def get_octet_sequence(self) -> bytes:
+        length = self.get_ulong()
+        return self.get_bytes(length)
+
+    def get_bytes(self, length: int) -> bytes:
+        if self._pos + length > len(self._data):
+            raise CdrError("truncated CDR stream while reading raw bytes")
+        out = self._data[self._pos : self._pos + length]
+        self._pos += length
+        return out
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+
+# ---------------------------------------------------------------------------
+# TypeCodes: minimal reflective typing used by the IDL layer
+# ---------------------------------------------------------------------------
+
+
+class TypeCode:
+    """A marshallable type: knows how to encode/decode one value."""
+
+    name = "abstract"
+
+    def encode(self, out: CdrOutputStream, value) -> None:
+        raise NotImplementedError
+
+    def decode(self, inp: CdrInputStream):
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TypeCode {self.name}>"
+
+
+class _Primitive(TypeCode):
+    def __init__(self, name: str, putter: str, getter: str):
+        self.name = name
+        self._putter = putter
+        self._getter = getter
+
+    def encode(self, out: CdrOutputStream, value) -> None:
+        getattr(out, self._putter)(value)
+
+    def decode(self, inp: CdrInputStream):
+        return getattr(inp, self._getter)()
+
+
+class _Void(TypeCode):
+    name = "void"
+
+    def encode(self, out: CdrOutputStream, value) -> None:
+        if value is not None:
+            raise CdrError("void type cannot carry a value")
+
+    def decode(self, inp: CdrInputStream):
+        return None
+
+
+class _OctetSeq(TypeCode):
+    name = "sequence<octet>"
+
+    def encode(self, out: CdrOutputStream, value) -> None:
+        if isinstance(value, np.ndarray):
+            value = value.tobytes()
+        if not isinstance(value, (bytes, bytearray, memoryview)):
+            raise CdrError(f"sequence<octet> requires bytes, got {type(value).__name__}")
+        out.put_octet_sequence(bytes(value))
+
+    def decode(self, inp: CdrInputStream):
+        return inp.get_octet_sequence()
+
+
+class _TypedSeq(TypeCode):
+    """Sequence of a fixed-size numeric type, carried as a numpy array."""
+
+    def __init__(self, name: str, np_dtype: str, itemsize: int, align: int):
+        self.name = name
+        self.np_dtype = np_dtype
+        self.itemsize = itemsize
+        self.align = align
+
+    def encode(self, out: CdrOutputStream, value) -> None:
+        arr = np.asarray(value, dtype=self.np_dtype)
+        out.put_ulong(arr.size)
+        out._align(self.align)
+        out.put_raw(arr.astype(f">{self.np_dtype[1:]}").tobytes())
+
+    def decode(self, inp: CdrInputStream):
+        count = inp.get_ulong()
+        inp._align(self.align)
+        raw = inp.get_bytes(count * self.itemsize)
+        return np.frombuffer(raw, dtype=f">{self.np_dtype[1:]}").astype(self.np_dtype)
+
+
+class SequenceTC(TypeCode):
+    """Sequence of an arbitrary element TypeCode (list on the Python side)."""
+
+    def __init__(self, element: TypeCode):
+        self.element = element
+        self.name = f"sequence<{element.name}>"
+
+    def encode(self, out: CdrOutputStream, value: Sequence) -> None:
+        out.put_ulong(len(value))
+        for item in value:
+            self.element.encode(out, item)
+
+    def decode(self, inp: CdrInputStream) -> List:
+        count = inp.get_ulong()
+        return [self.element.decode(inp) for _ in range(count)]
+
+
+class StructTC(TypeCode):
+    """A named struct: ordered (field, TypeCode) pairs, dict on the Python side."""
+
+    def __init__(self, name: str, fields: Sequence[Tuple[str, TypeCode]]):
+        self.name = name
+        self.fields = list(fields)
+
+    def encode(self, out: CdrOutputStream, value: Dict[str, Any]) -> None:
+        for field_name, tc in self.fields:
+            if field_name not in value:
+                raise CdrError(f"struct {self.name} missing field {field_name!r}")
+            tc.encode(out, value[field_name])
+
+    def decode(self, inp: CdrInputStream) -> Dict[str, Any]:
+        return {field_name: tc.decode(inp) for field_name, tc in self.fields}
+
+
+TC_VOID = _Void()
+TC_OCTET = _Primitive("octet", "put_octet", "get_octet")
+TC_BOOLEAN = _Primitive("boolean", "put_boolean", "get_boolean")
+TC_SHORT = _Primitive("short", "put_short", "get_short")
+TC_LONG = _Primitive("long", "put_long", "get_long")
+TC_ULONG = _Primitive("unsigned long", "put_ulong", "get_ulong")
+TC_LONGLONG = _Primitive("long long", "put_longlong", "get_longlong")
+TC_FLOAT = _Primitive("float", "put_float", "get_float")
+TC_DOUBLE = _Primitive("double", "put_double", "get_double")
+TC_STRING = _Primitive("string", "put_string", "get_string")
+TC_OCTET_SEQ = _OctetSeq()
+TC_DOUBLE_SEQ = _TypedSeq("sequence<double>", "<f8", 8, 8)
+TC_LONG_SEQ = _TypedSeq("sequence<long>", "<i4", 4, 4)

@@ -1,0 +1,131 @@
+"""GIOP (General Inter-ORB Protocol) message framing.
+
+Only the two message types needed for synchronous invocations are
+implemented — Request and Reply — with the standard 12-byte GIOP header
+(magic, version, flags, message type, body size) so the framing survives a
+byte-stream transport and interoperates across ORB profiles (the paper's
+interoperability requirement: CORBA stays IIOP-compatible on the wire).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+_GIOP_HEADER = struct.Struct("!4sBBBBI")  # magic, major, minor, flags, msg type, body size
+GIOP_MAGIC = b"GIOP"
+GIOP_HEADER_SIZE = _GIOP_HEADER.size
+
+MSG_REQUEST = 0
+MSG_REPLY = 1
+
+REPLY_OK = 0
+REPLY_USER_EXCEPTION = 1
+REPLY_SYSTEM_EXCEPTION = 2
+
+_REQUEST_PREFIX = struct.Struct("!IIH")   # request id, key length, operation length
+_REPLY_PREFIX = struct.Struct("!II")      # request id, reply status
+
+
+class GiopError(RuntimeError):
+    """Malformed GIOP traffic."""
+
+
+@dataclass
+class GiopMessage:
+    """One parsed GIOP message."""
+
+    msg_type: int
+    request_id: int
+    body: bytes
+    object_key: bytes = b""
+    operation: str = ""
+    reply_status: int = REPLY_OK
+    version: Tuple[int, int] = (1, 2)
+    flags: int = 0
+    meta: dict = field(default_factory=dict)
+
+    # -- encoding -----------------------------------------------------------------
+    def encode(self) -> bytes:
+        if self.msg_type == MSG_REQUEST:
+            op = self.operation.encode("utf-8")
+            payload = (
+                _REQUEST_PREFIX.pack(self.request_id, len(self.object_key), len(op))
+                + self.object_key
+                + op
+                + self.body
+            )
+        elif self.msg_type == MSG_REPLY:
+            payload = _REPLY_PREFIX.pack(self.request_id, self.reply_status) + self.body
+        else:
+            raise GiopError(f"unsupported GIOP message type {self.msg_type}")
+        header = _GIOP_HEADER.pack(
+            GIOP_MAGIC, self.version[0], self.version[1], self.flags, self.msg_type, len(payload)
+        )
+        return header + payload
+
+    # -- decoding -------------------------------------------------------------------
+    @staticmethod
+    def parse_header(header: bytes) -> Tuple[int, int, Tuple[int, int]]:
+        """Return ``(msg_type, body_size, version)`` from a 12-byte header."""
+        if len(header) != GIOP_HEADER_SIZE:
+            raise GiopError(f"GIOP header must be {GIOP_HEADER_SIZE} bytes, got {len(header)}")
+        magic, major, minor, _flags, msg_type, size = _GIOP_HEADER.unpack(header)
+        if magic != GIOP_MAGIC:
+            raise GiopError(f"bad GIOP magic {magic!r}")
+        return msg_type, size, (major, minor)
+
+    @classmethod
+    def decode(cls, header: bytes, payload: bytes) -> "GiopMessage":
+        msg_type, size, version = cls.parse_header(header)
+        if len(payload) != size:
+            raise GiopError(f"GIOP body size mismatch: header says {size}, got {len(payload)}")
+        if msg_type == MSG_REQUEST:
+            request_id, key_len, op_len = _REQUEST_PREFIX.unpack_from(payload, 0)
+            offset = _REQUEST_PREFIX.size
+            object_key = payload[offset : offset + key_len]
+            offset += key_len
+            operation = payload[offset : offset + op_len].decode("utf-8")
+            offset += op_len
+            return cls(
+                msg_type=MSG_REQUEST,
+                request_id=request_id,
+                object_key=object_key,
+                operation=operation,
+                body=payload[offset:],
+                version=version,
+            )
+        if msg_type == MSG_REPLY:
+            request_id, status = _REPLY_PREFIX.unpack_from(payload, 0)
+            return cls(
+                msg_type=MSG_REPLY,
+                request_id=request_id,
+                reply_status=status,
+                body=payload[_REPLY_PREFIX.size :],
+                version=version,
+            )
+        raise GiopError(f"unsupported GIOP message type {msg_type}")
+
+    @property
+    def total_bytes(self) -> int:
+        """Size of the encoded message including the GIOP header."""
+        return GIOP_HEADER_SIZE + len(self.body) + (
+            _REQUEST_PREFIX.size + len(self.object_key) + len(self.operation.encode("utf-8"))
+            if self.msg_type == MSG_REQUEST
+            else _REPLY_PREFIX.size
+        )
+
+
+def make_request(request_id: int, object_key: bytes, operation: str, body: bytes) -> GiopMessage:
+    return GiopMessage(
+        msg_type=MSG_REQUEST,
+        request_id=request_id,
+        object_key=object_key,
+        operation=operation,
+        body=body,
+    )
+
+
+def make_reply(request_id: int, body: bytes, status: int = REPLY_OK) -> GiopMessage:
+    return GiopMessage(msg_type=MSG_REPLY, request_id=request_id, reply_status=status, body=body)

@@ -1,0 +1,72 @@
+"""An MPI middleware in the MPICH/Madeleine mould.
+
+The library is written against the *virtual Madeleine* personality
+(:mod:`repro.personalities.madeleine_api`), exactly like the real
+MPICH/Madeleine is linked against the Madeleine API inside PadicoTM; it
+therefore runs unchanged whether the underlying Circuit is mapped onto MadIO
+(Myrinet), SysIO (Ethernet / WAN) or an alternate VLink method.
+
+Public surface (close to mpi4py's, which follows the MPI standard):
+
+* :class:`~repro.middleware.mpi.communicator.MpiRuntime` — one per node,
+  builds ``COMM_WORLD`` over a host group.
+* :class:`~repro.middleware.mpi.communicator.Communicator` — point-to-point
+  (``send/recv/isend/irecv/sendrecv``) with tag matching, plus the
+  collectives (``bcast, reduce, allreduce, gather, allgather, scatter,
+  alltoall, barrier, scan``).
+* :mod:`~repro.middleware.mpi.datatypes` — MPI datatypes and reduction ops.
+* :mod:`~repro.middleware.mpi.profiles` — cost profiles for MPICH 1.1.2 and
+  1.2.5 (the two versions measured in the paper).
+"""
+
+from repro.middleware.mpi.datatypes import (
+    Datatype,
+    MPI_BYTE,
+    MPI_CHAR,
+    MPI_DOUBLE,
+    MPI_FLOAT,
+    MPI_INT,
+    MPI_LONG,
+    ReduceOp,
+    SUM,
+    PROD,
+    MIN,
+    MAX,
+)
+from repro.middleware.mpi.profiles import MpiProfile, MPICH_1_1_2, MPICH_1_2_5
+from repro.middleware.mpi.requests import Request, Status
+from repro.middleware.mpi.communicator import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Communicator,
+    MpiError,
+    MpiRuntime,
+)
+from repro.middleware.mpi.direct import DirectMadeleineChannel, standalone_mpi_pair
+
+__all__ = [
+    "Datatype",
+    "MPI_BYTE",
+    "MPI_CHAR",
+    "MPI_DOUBLE",
+    "MPI_FLOAT",
+    "MPI_INT",
+    "MPI_LONG",
+    "ReduceOp",
+    "SUM",
+    "PROD",
+    "MIN",
+    "MAX",
+    "MpiProfile",
+    "MPICH_1_1_2",
+    "MPICH_1_2_5",
+    "Request",
+    "Status",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Communicator",
+    "MpiError",
+    "MpiRuntime",
+    "DirectMadeleineChannel",
+    "standalone_mpi_pair",
+]

@@ -1,0 +1,160 @@
+"""MPI collective operations.
+
+Implemented on top of the communicator's point-to-point layer with the
+classic algorithms of MPICH of that era: binomial trees for broadcast and
+reduce, reduce+broadcast for allreduce, direct (rooted) exchanges for
+gather/scatter, pairwise exchange for alltoall, a chain for scan.  Every
+collective consumes one reserved tag from the communicator's collective
+sequence so concurrent collectives and point-to-point traffic never
+interfere.
+
+All methods are generators (``yield from comm.bcast(...)``) since they block
+until completion in virtual time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.middleware.mpi.datatypes import ReduceOp, SUM
+
+
+class CollectiveMixin:
+    """Collective operations mixed into :class:`Communicator`."""
+
+    # the mixin relies on: rank, size, isend, irecv, send, recv,
+    # _next_collective_tag()  — all provided by Communicator.
+
+    # -- barrier -----------------------------------------------------------------
+    def barrier(self):
+        """Block until every rank has entered the barrier (dissemination)."""
+        tag = self._next_collective_tag()
+        size = self.size
+        if size == 1:
+            return None
+        distance = 1
+        while distance < size:
+            dest = (self.rank + distance) % size
+            src = (self.rank - distance) % size
+            send_req = self.isend(b"", dest, tag)
+            yield self.irecv(src, tag).wait()
+            yield send_req.wait()
+            distance *= 2
+        return None
+
+    # -- broadcast ----------------------------------------------------------------
+    def bcast(self, obj: Any = None, root: int = 0):
+        """Binomial-tree broadcast; returns the object on every rank."""
+        tag = self._next_collective_tag()
+        size = self.size
+        if size == 1:
+            return obj
+        relative = (self.rank - root) % size
+        # Standard MPICH binomial tree on relative ranks: receive from the
+        # parent (the rank with our lowest set bit cleared), then forward to
+        # children at decreasing bit positions.
+        mask = 1
+        while mask < size:
+            if relative & mask:
+                src = ((relative - mask) + root) % size
+                obj = yield self.irecv(src, tag).wait()
+                break
+            mask *= 2
+        mask //= 2
+        while mask > 0:
+            if relative + mask < size:
+                dest = ((relative + mask) + root) % size
+                yield self.isend(obj, dest, tag).wait()
+            mask //= 2
+        return obj
+
+    # -- reduce -------------------------------------------------------------------
+    def reduce(self, sendobj: Any, op: ReduceOp = SUM, root: int = 0):
+        """Rooted reduction; the root returns the combined value, others None."""
+        tag = self._next_collective_tag()
+        size = self.size
+        value = sendobj
+        if size == 1:
+            return value if self.rank == root else None
+        relative = (self.rank - root) % size
+        mask = 1
+        while mask < size:
+            if relative & mask:
+                dest = ((relative & ~mask) + root) % size
+                yield self.isend(value, dest, tag).wait()
+                break
+            else:
+                src_rel = relative | mask
+                if src_rel < size:
+                    other = yield self.irecv(((src_rel) + root) % size, tag).wait()
+                    value = op(value, other)
+            mask *= 2
+        return value if self.rank == root else None
+
+    def allreduce(self, sendobj: Any, op: ReduceOp = SUM):
+        """Reduction whose result is available on every rank."""
+        reduced = yield from self.reduce(sendobj, op, root=0)
+        result = yield from self.bcast(reduced, root=0)
+        return result
+
+    def scan(self, sendobj: Any, op: ReduceOp = SUM):
+        """Inclusive prefix reduction along rank order."""
+        tag = self._next_collective_tag()
+        value = sendobj
+        if self.rank > 0:
+            prefix = yield self.irecv(self.rank - 1, tag).wait()
+            value = op(prefix, value)
+        if self.rank < self.size - 1:
+            yield self.isend(value, self.rank + 1, tag).wait()
+        return value
+
+    # -- gather / scatter -----------------------------------------------------------
+    def gather(self, sendobj: Any, root: int = 0):
+        """Root returns the list of every rank's contribution (rank order)."""
+        tag = self._next_collective_tag()
+        if self.rank == root:
+            out: List[Any] = [None] * self.size
+            out[self.rank] = sendobj
+            requests = [
+                (src, self.irecv(src, tag)) for src in range(self.size) if src != root
+            ]
+            for src, req in requests:
+                out[src] = yield req.wait()
+            return out
+        yield self.isend(sendobj, root, tag).wait()
+        return None
+
+    def scatter(self, sendobjs: Optional[List[Any]] = None, root: int = 0):
+        """Root distributes ``sendobjs[i]`` to rank ``i``; returns the local item."""
+        tag = self._next_collective_tag()
+        if self.rank == root:
+            if sendobjs is None or len(sendobjs) != self.size:
+                raise ValueError(f"scatter root needs a list of exactly {self.size} items")
+            for dst in range(self.size):
+                if dst != root:
+                    self.isend(sendobjs[dst], dst, tag)
+            return sendobjs[root]
+        value = yield self.irecv(root, tag).wait()
+        return value
+
+    def allgather(self, sendobj: Any):
+        """Every rank returns the list of every rank's contribution."""
+        gathered = yield from self.gather(sendobj, root=0)
+        result = yield from self.bcast(gathered, root=0)
+        return result
+
+    def alltoall(self, sendobjs: List[Any]):
+        """Personalised all-to-all exchange: returns the list received."""
+        tag = self._next_collective_tag()
+        if len(sendobjs) != self.size:
+            raise ValueError(f"alltoall needs exactly {self.size} items")
+        out: List[Any] = [None] * self.size
+        out[self.rank] = sendobjs[self.rank]
+        requests = []
+        for dst in range(self.size):
+            if dst != self.rank:
+                self.isend(sendobjs[dst], dst, tag)
+                requests.append((dst, self.irecv(dst, tag)))
+        for src, req in requests:
+            out[src] = yield req.wait()
+        return out

@@ -1,0 +1,62 @@
+"""MPI request and status objects."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class Status:
+    """Receive status: who sent the message, with which tag, how many bytes."""
+
+    def __init__(self) -> None:
+        self.source: Optional[int] = None
+        self.tag: Optional[int] = None
+        self.count_bytes: int = 0
+
+    def get_source(self) -> Optional[int]:
+        return self.source
+
+    def get_tag(self) -> Optional[int]:
+        return self.tag
+
+    def get_count(self, datatype=None) -> int:
+        if datatype is None:
+            return self.count_bytes
+        return self.count_bytes // datatype.itemsize
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Status src={self.source} tag={self.tag} bytes={self.count_bytes}>"
+
+
+class Request:
+    """A non-blocking operation handle (returned by isend / irecv)."""
+
+    def __init__(self, sim, kind: str):
+        self.sim = sim
+        self.kind = kind
+        self.event = sim.event(name=f"mpi-{kind}")
+        self.status = Status()
+        self.cancelled = False
+
+    # -- completion management ------------------------------------------------
+    def test(self) -> bool:
+        """Non-blocking completion test."""
+        return self.event.triggered
+
+    def wait(self):
+        """The event to ``yield`` on for completion; value is the received
+        object (for receives) or the byte count (for sends)."""
+        return self.event
+
+    @property
+    def value(self) -> Any:
+        return self.event.value if self.event.triggered else None
+
+    def cancel(self) -> None:
+        """Mark the request cancelled (only honoured while still pending)."""
+        if not self.event.triggered:
+            self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.event.triggered else ("cancelled" if self.cancelled else "pending")
+        return f"<Request {self.kind} {state}>"

@@ -1,0 +1,91 @@
+"""Registration of the built-in middleware modules with the framework.
+
+Mirrors PadicoTM's dynamically loadable modules: every middleware system is
+declared with its paradigm and the personality it sits on, so a deployment
+can load "any combination of them ... at the same time" (§4.3) through
+:func:`repro.core.modules.global_registry`.
+"""
+
+from __future__ import annotations
+
+from repro.core.modules import ModuleRegistry, global_registry
+
+
+def register_builtin_modules(registry: ModuleRegistry = None) -> ModuleRegistry:
+    """Register every built-in middleware factory (idempotent)."""
+    registry = registry or global_registry()
+
+    def _mpi_factory(node, group=None, **kwargs):
+        from repro.middleware.mpi import MpiRuntime
+
+        if group is None:
+            raise ValueError("the mpi module needs a 'group' keyword (HostGroup)")
+        return MpiRuntime(node, group, **kwargs)
+
+    def _orb_factory(profile_name):
+        def factory(node, **kwargs):
+            from repro.middleware.corba import ORB, ORB_PROFILES
+
+            return ORB(node, ORB_PROFILES[profile_name], **kwargs)
+
+        return factory
+
+    def _java_factory(node, **kwargs):
+        from repro.middleware.javasockets import JavaSocketLayer
+
+        return JavaSocketLayer(node, **kwargs)
+
+    def _soap_server_factory(node, port=18000, **kwargs):
+        from repro.middleware.soap import SoapServer
+
+        return SoapServer(node, port, **kwargs)
+
+    def _hla_factory(node, **kwargs):
+        from repro.middleware.hla import RtiGateway
+
+        return RtiGateway(node, **kwargs)
+
+    def _pvm_factory(node, group=None, **kwargs):
+        from repro.middleware.pvm import PvmTask
+
+        if group is None:
+            raise ValueError("the pvm module needs a 'group' keyword (HostGroup)")
+        return PvmTask(node, group, **kwargs)
+
+    def _dsm_factory(node, group=None, **kwargs):
+        from repro.middleware.dsm import DsmNode
+
+        if group is None:
+            raise ValueError("the dsm module needs a 'group' keyword (HostGroup)")
+        return DsmNode(node, group, **kwargs)
+
+    registry.register(
+        "mpi", paradigm="parallel", personality="madeleine",
+        factory=_mpi_factory, description="MPICH/Madeleine-style MPI library",
+    )
+    registry.register(
+        "pvm", paradigm="parallel", personality="circuit",
+        factory=_pvm_factory, description="PVM-style task/message library",
+    )
+    registry.register(
+        "dsm", paradigm="parallel", personality="circuit",
+        factory=_dsm_factory, description="page-based distributed shared memory",
+    )
+    for orb_name in ("omniORB-3.0.2", "omniORB-4.0.0", "Mico-2.3.7", "ORBacus-4.0.5"):
+        registry.register(
+            f"corba:{orb_name}", paradigm="distributed", personality="syswrap",
+            factory=_orb_factory(orb_name), description=f"CORBA ORB ({orb_name})",
+        )
+    registry.register(
+        "java-sockets", paradigm="distributed", personality="syswrap",
+        factory=_java_factory, description="Kaffe-style JVM socket layer",
+    )
+    registry.register(
+        "soap", paradigm="distributed", personality="syswrap",
+        factory=_soap_server_factory, description="gSOAP-style SOAP/HTTP RPC server",
+    )
+    registry.register(
+        "hla", paradigm="distributed", personality="syswrap",
+        factory=_hla_factory, description="HLA RTI gateway (Certi-style)",
+    )
+    return registry

@@ -1,0 +1,260 @@
+"""A gSOAP-style SOAP/HTTP RPC middleware over SysWrap sockets.
+
+§4.3 lists gSOAP 2.2 among the middleware systems ported unchanged onto
+PadicoTM; §2.1 motivates it with "a SOAP-based monitoring system of a MPI
+application".  SOAP is the extreme point of the distributed paradigm:
+text-based XML encoding (expensive per byte, great interoperability),
+HTTP-style framing, dynamic client/server connections.
+
+The implementation really produces and parses XML envelopes (a small,
+self-contained encoder/parser — no external libraries), frames them in
+HTTP/1.1 POST requests, and charges an encoding cost per byte that reflects
+text conversion overhead.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.simnet.cost import MB, MICROSECOND
+from repro.personalities.syswrap import SysWrap, SysWrapSocket
+
+SoapValue = Union[int, float, str, bool, bytes, list]
+
+
+@dataclass(frozen=True)
+class SoapProfile:
+    """Cost model for the SOAP engine (gSOAP is fast, for a SOAP stack)."""
+
+    name: str = "gSOAP-2.2"
+    per_call_overhead: float = 35.0 * MICROSECOND
+    #: XML text encoding/decoding throughput.
+    encode_bandwidth: float = 40.0 * MB
+
+
+class SoapFault(RuntimeError):
+    """A SOAP fault returned by the remote side."""
+
+
+# ---------------------------------------------------------------------------
+# XML encoding (deliberately small: elements, attributes-free, typed leaves)
+# ---------------------------------------------------------------------------
+
+_XS_TYPES = {int: "xsd:int", float: "xsd:double", str: "xsd:string", bool: "xsd:boolean"}
+
+
+def _encode_value(name: str, value: SoapValue) -> str:
+    if isinstance(value, bool):
+        return f'<{name} xsi:type="xsd:boolean">{"true" if value else "false"}</{name}>'
+    if isinstance(value, int):
+        return f'<{name} xsi:type="xsd:int">{value}</{name}>'
+    if isinstance(value, float):
+        return f'<{name} xsi:type="xsd:double">{value!r}</{name}>'
+    if isinstance(value, str):
+        escaped = value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+        return f'<{name} xsi:type="xsd:string">{escaped}</{name}>'
+    if isinstance(value, bytes):
+        import base64
+
+        return f'<{name} xsi:type="xsd:base64Binary">{base64.b64encode(value).decode()}</{name}>'
+    if isinstance(value, list):
+        inner = "".join(_encode_value("item", item) for item in value)
+        return f'<{name} xsi:type="soapenc:Array">{inner}</{name}>'
+    raise TypeError(f"unsupported SOAP value type {type(value).__name__}")
+
+
+_ELEMENT_RE = re.compile(
+    r'<(?P<name>[\w:]+) xsi:type="(?P<type>[\w:]+)">(?P<body>.*?)</(?P=name)>', re.S
+)
+
+
+def _decode_body(body: str) -> List[Tuple[str, SoapValue]]:
+    out: List[Tuple[str, SoapValue]] = []
+    for match in _ELEMENT_RE.finditer(body):
+        name, xsi_type, text = match.group("name"), match.group("type"), match.group("body")
+        if xsi_type == "xsd:int":
+            out.append((name, int(text)))
+        elif xsi_type == "xsd:double":
+            out.append((name, float(text)))
+        elif xsi_type == "xsd:boolean":
+            out.append((name, text == "true"))
+        elif xsi_type == "xsd:string":
+            out.append((name, text.replace("&lt;", "<").replace("&gt;", ">").replace("&amp;", "&")))
+        elif xsi_type == "xsd:base64Binary":
+            import base64
+
+            out.append((name, base64.b64decode(text)))
+        elif xsi_type == "soapenc:Array":
+            out.append((name, [v for _n, v in _decode_body(text)]))
+    return out
+
+
+def build_envelope(operation: str, params: Dict[str, SoapValue]) -> str:
+    """Build a SOAP 1.1 request envelope for ``operation``."""
+    body = "".join(_encode_value(k, v) for k, v in params.items())
+    return (
+        '<?xml version="1.0" encoding="UTF-8"?>'
+        '<SOAP-ENV:Envelope xmlns:SOAP-ENV="http://schemas.xmlsoap.org/soap/envelope/" '
+        'xmlns:xsd="http://www.w3.org/2001/XMLSchema" '
+        'xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance" '
+        'xmlns:soapenc="http://schemas.xmlsoap.org/soap/encoding/">'
+        f"<SOAP-ENV:Body><m:{operation} xmlns:m=\"urn:repro\">{body}</m:{operation}>"
+        "</SOAP-ENV:Body></SOAP-ENV:Envelope>"
+    )
+
+
+def parse_envelope(xml: str) -> Tuple[str, List[Tuple[str, SoapValue]]]:
+    """Parse an envelope; returns ``(operation, [(param, value), ...])``."""
+    match = re.search(r"<m:(?P<op>[\w]+) xmlns:m=\"urn:repro\">(?P<body>.*?)</m:(?P=op)>", xml, re.S)
+    if match is None:
+        fault = re.search(r"<faultstring>(?P<msg>.*?)</faultstring>", xml, re.S)
+        if fault:
+            raise SoapFault(fault.group("msg"))
+        raise SoapFault("malformed SOAP envelope")
+    return match.group("op"), _decode_body(match.group("body"))
+
+
+def build_fault(message: str) -> str:
+    return (
+        '<?xml version="1.0" encoding="UTF-8"?>'
+        '<SOAP-ENV:Envelope xmlns:SOAP-ENV="http://schemas.xmlsoap.org/soap/envelope/">'
+        "<SOAP-ENV:Body><SOAP-ENV:Fault><faultcode>SOAP-ENV:Server</faultcode>"
+        f"<faultstring>{message}</faultstring></SOAP-ENV:Fault></SOAP-ENV:Body></SOAP-ENV:Envelope>"
+    )
+
+
+# ---------------------------------------------------------------------------
+# HTTP framing
+# ---------------------------------------------------------------------------
+
+
+def http_post(path: str, host: str, payload: bytes) -> bytes:
+    headers = (
+        f"POST {path} HTTP/1.1\r\nHost: {host}\r\nContent-Type: text/xml; charset=utf-8\r\n"
+        f"Content-Length: {len(payload)}\r\nSOAPAction: \"\"\r\n\r\n"
+    )
+    return headers.encode("ascii") + payload
+
+
+def http_response(payload: bytes, status: str = "200 OK") -> bytes:
+    headers = (
+        f"HTTP/1.1 {status}\r\nContent-Type: text/xml; charset=utf-8\r\n"
+        f"Content-Length: {len(payload)}\r\n\r\n"
+    )
+    return headers.encode("ascii") + payload
+
+
+def parse_http(data: bytes) -> Tuple[Dict[str, str], bytes]:
+    head, _, body = data.partition(b"\r\n\r\n")
+    lines = head.decode("ascii", "replace").split("\r\n")
+    headers = {"_start_line": lines[0]}
+    for line in lines[1:]:
+        key, _, value = line.partition(":")
+        headers[key.strip().lower()] = value.strip()
+    return headers, body
+
+
+# ---------------------------------------------------------------------------
+# Client / server engines
+# ---------------------------------------------------------------------------
+
+
+class SoapServer:
+    """A SOAP RPC endpoint: registered handlers dispatched from HTTP POSTs."""
+
+    def __init__(self, node, port: int, profile: Optional[SoapProfile] = None):
+        self.node = node
+        self.sim = node.sim
+        self.port = port
+        self.profile = profile or SoapProfile()
+        self.syswrap = SysWrap(node.vlink)
+        self._handlers: Dict[str, Callable] = {}
+        self.requests_served = 0
+        sock = self.syswrap.socket()
+        sock.bind((node.host.name, port))
+        sock.listen()
+        self.sim.process(self._accept_loop(sock), name=f"soap-accept-{port}")
+
+    def register(self, operation: str, handler: Callable) -> None:
+        """Register ``handler(**params)`` for ``operation``."""
+        self._handlers[operation] = handler
+
+    def _accept_loop(self, listener: SysWrapSocket):
+        while True:
+            sock, _peer = yield listener.accept()
+            self.sim.process(self._serve(sock), name="soap-server-conn")
+
+    def _serve(self, sock: SysWrapSocket):
+        while True:
+            try:
+                request = yield from _read_http_message(sock)
+            except (ConnectionError, OSError):
+                return
+            headers, body = request
+            yield self.sim.timeout(self._cost(len(body)))
+            try:
+                operation, params = parse_envelope(body.decode("utf-8"))
+                handler = self._handlers.get(operation)
+                if handler is None:
+                    raise SoapFault(f"no such operation {operation!r}")
+                result = handler(**dict(params))
+                if hasattr(result, "send") and hasattr(result, "throw"):
+                    result = yield from result
+                reply_xml = build_envelope(f"{operation}Response", {"return": result})
+                self.requests_served += 1
+            except Exception as exc:  # noqa: BLE001 - surfaced as a SOAP fault
+                reply_xml = build_fault(str(exc))
+            payload = reply_xml.encode("utf-8")
+            yield self.sim.timeout(self._cost(len(payload)))
+            yield sock.send(http_response(payload))
+
+    def _cost(self, nbytes: int) -> float:
+        return self.profile.per_call_overhead + nbytes / self.profile.encode_bandwidth
+
+
+class SoapClient:
+    """A SOAP RPC client bound to one endpoint."""
+
+    def __init__(self, node, server_host, port: int, profile: Optional[SoapProfile] = None):
+        self.node = node
+        self.sim = node.sim
+        self.server_host = server_host
+        self.port = port
+        self.profile = profile or SoapProfile()
+        self.syswrap = SysWrap(node.vlink)
+        self._sock: Optional[SysWrapSocket] = None
+
+    def call(self, operation: str, **params):
+        """Invoke ``operation`` with keyword parameters (generator)."""
+        envelope = build_envelope(operation, params).encode("utf-8")
+        yield self.sim.timeout(self.profile.per_call_overhead + len(envelope) / self.profile.encode_bandwidth)
+        if self._sock is None:
+            sock = self.syswrap.socket()
+            yield sock.connect((self.server_host, self.port))
+            self._sock = sock
+        yield self._sock.send(http_post("/soap", str(self.server_host), envelope))
+        headers, body = yield from _read_http_message(self._sock)
+        yield self.sim.timeout(self.profile.per_call_overhead + len(body) / self.profile.encode_bandwidth)
+        operation_name, params_out = parse_envelope(body.decode("utf-8"))
+        for name, value in params_out:
+            if name == "return":
+                return value
+        return None
+
+
+def _read_http_message(sock: SysWrapSocket):
+    """Read one HTTP message (headers + exact content-length body)."""
+    buffer = b""
+    while b"\r\n\r\n" not in buffer:
+        chunk = yield sock.recv(4096)
+        if not chunk:
+            raise ConnectionError("peer closed during HTTP headers")
+        buffer += chunk
+    headers, body = parse_http(buffer)
+    need = int(headers.get("content-length", "0"))
+    while len(body) < need:
+        chunk = yield sock.recv_exact(need - len(body))
+        body += chunk
+    return headers, body

@@ -1,0 +1,121 @@
+"""Aio: a POSIX.2 asynchronous I/O personality over VLink.
+
+"We implement an Aio personality on top of VLink which provides a plain
+Posix.2 Asynchronous I/O (Aio) API." (§4.3)
+
+The POSIX AIO model revolves around *control blocks* (``struct aiocb``):
+the application fills one in, posts it with ``aio_read`` / ``aio_write``,
+then either polls with ``aio_error`` (EINPROGRESS until completion),
+retrieves the result with ``aio_return``, or blocks with ``aio_suspend``.
+Because the VLink abstract interface is itself asynchronous (post /
+poll / handler), this personality really is a pure syntax adapter.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.abstraction.vlink import VLink, VLinkOperation
+
+
+#: aio_error() value while the operation has not completed (POSIX EINPROGRESS).
+AIO_INPROGRESS = 115
+
+
+class AioError(RuntimeError):
+    """Misuse of the AIO personality."""
+
+
+class AioControlBlock:
+    """The ``struct aiocb`` equivalent."""
+
+    def __init__(self, link: VLink, nbytes: int = 0, buffer: bytes = b""):
+        #: the VLink this control block targets (the aio_fildes field).
+        self.link = link
+        #: requested transfer length (aio_nbytes).
+        self.nbytes = nbytes
+        #: data to write (for aio_write).
+        self.buffer = buffer
+        #: filled with the received bytes after a completed aio_read.
+        self.data: Optional[bytes] = None
+        self._operation: Optional[VLinkOperation] = None
+        self._error: Optional[BaseException] = None
+
+    @property
+    def posted(self) -> bool:
+        return self._operation is not None
+
+    @property
+    def complete(self) -> bool:
+        return self._operation is not None and self._operation.poll()
+
+
+class AioPersonality:
+    """The four POSIX AIO entry points, per host."""
+
+    def __init__(self, sim):
+        self.sim = sim
+
+    # -- posting -------------------------------------------------------------------
+    def aio_read(self, aiocb: AioControlBlock) -> int:
+        """Post an asynchronous read of ``aiocb.nbytes`` bytes.  Returns 0."""
+        if aiocb.posted:
+            raise AioError("control block already posted")
+        if aiocb.nbytes <= 0:
+            raise AioError("aio_read requires a positive aio_nbytes")
+        op = aiocb.link.read(aiocb.nbytes, exact=True)
+
+        def _done(o: VLinkOperation) -> None:
+            if o.ok:
+                aiocb.data = o.value
+            else:
+                aiocb._error = o.value
+
+        op.set_handler(_done)
+        aiocb._operation = op
+        return 0
+
+    def aio_write(self, aiocb: AioControlBlock) -> int:
+        """Post an asynchronous write of ``aiocb.buffer``.  Returns 0."""
+        if aiocb.posted:
+            raise AioError("control block already posted")
+        if not aiocb.buffer:
+            raise AioError("aio_write requires a non-empty buffer")
+        op = aiocb.link.write(aiocb.buffer)
+
+        def _done(o: VLinkOperation) -> None:
+            if not o.ok:
+                aiocb._error = o.value
+
+        op.set_handler(_done)
+        aiocb._operation = op
+        aiocb.nbytes = len(aiocb.buffer)
+        return 0
+
+    # -- completion ------------------------------------------------------------------
+    def aio_error(self, aiocb: AioControlBlock) -> int:
+        """0 when complete, :data:`AIO_INPROGRESS` while pending, -1 on failure."""
+        if not aiocb.posted:
+            raise AioError("aio_error() on a control block that was never posted")
+        if not aiocb.complete:
+            return AIO_INPROGRESS
+        return -1 if aiocb._error is not None else 0
+
+    def aio_return(self, aiocb: AioControlBlock) -> int:
+        """Byte count of the completed operation (raises if still pending)."""
+        if not aiocb.complete:
+            raise AioError("aio_return() before completion")
+        if aiocb._error is not None:
+            raise aiocb._error
+        if aiocb.data is not None:
+            return len(aiocb.data)
+        return aiocb.nbytes
+
+    def aio_suspend(self, aiocbs: List[AioControlBlock]):
+        """Event firing as soon as any of the control blocks completes."""
+        if not aiocbs:
+            raise AioError("aio_suspend() with an empty list")
+        pending = [cb._operation for cb in aiocbs if cb._operation is not None]
+        if not pending:
+            raise AioError("aio_suspend() with no posted control block")
+        return self.sim.any_of(pending)

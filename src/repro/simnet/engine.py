@@ -1,0 +1,411 @@
+"""Discrete-event simulation kernel.
+
+A deliberately small, dependency-free engine in the style of SimPy:
+
+* :class:`Simulator` owns the virtual clock and the event heap.
+* :class:`SimEvent` is a one-shot completion token carrying a value (or an
+  exception) plus a list of callbacks.
+* :class:`Timeout` is an event that fires after a fixed virtual delay.
+* :class:`Process` wraps a generator; the generator *yields* events and is
+  resumed with the event value when the event fires.  Processes are
+  themselves events (they fire when the generator returns), so processes can
+  wait for each other.
+* :class:`AllOf` / :class:`AnyOf` combine events.
+
+The engine is fully deterministic: events scheduled for the same virtual
+time fire in FIFO order of scheduling (a monotonically increasing sequence
+number breaks ties), and the only randomness anywhere in :mod:`repro.simnet`
+comes from explicitly seeded generators owned by the network models.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (double-firing an event,
+    yielding a non-event from a process, running a simulator with no events
+    while waiting for a condition, ...)."""
+
+
+class SimEvent:
+    """A one-shot completion token.
+
+    An event starts *pending*; it becomes *triggered* exactly once, either
+    through :meth:`succeed` (with a value) or :meth:`fail` (with an
+    exception).  Callbacks registered with :meth:`add_callback` run when the
+    event is processed by the simulator loop, in registration order.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "_triggered", "_processed", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.callbacks: List[Callable[["SimEvent"], None]] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._triggered = False
+        self._processed = False
+        self.name = name
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed` or :meth:`fail` has been called."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once the simulator has run the callbacks of this event."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        """The value passed to :meth:`succeed` (or the failure exception)."""
+        if self._exc is not None:
+            return self._exc
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "SimEvent":
+        """Trigger the event successfully, optionally after ``delay``."""
+        if delay > 0.0:
+            self.sim.call_later(delay, self.succeed, value)
+            return self
+        if self._triggered:
+            raise SimulationError(f"event {self.name or id(self)} already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._push_triggered(self)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0) -> "SimEvent":
+        """Trigger the event with an exception, optionally after ``delay``."""
+        if delay > 0.0:
+            self.sim.call_later(delay, self.fail, exc)
+            return self
+        if self._triggered:
+            raise SimulationError(f"event {self.name or id(self)} already triggered")
+        if not isinstance(exc, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._triggered = True
+        self._exc = exc
+        self.sim._push_triggered(self)
+        return self
+
+    # -- composition ------------------------------------------------------
+    def add_callback(self, fn: Callable[["SimEvent"], None]) -> None:
+        """Run ``fn(event)`` when the event is processed.
+
+        If the event was already processed the callback runs immediately (in
+        the caller's stack frame), which keeps chained completions correct
+        even when a lower layer fires synchronously.
+        """
+        if self._processed:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def chain(self, other: "SimEvent") -> "SimEvent":
+        """Propagate this event's outcome into ``other`` when it fires."""
+
+        def _propagate(ev: "SimEvent") -> None:
+            if ev.ok:
+                if not other.triggered:
+                    other.succeed(ev.value)
+            else:
+                if not other.triggered:
+                    other.fail(ev.value)
+
+        self.add_callback(_propagate)
+        return other
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {self.name or hex(id(self))} {state}>"
+
+
+class Timeout(SimEvent):
+    """An event that fires ``delay`` seconds of virtual time after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None, name: str = ""):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay!r}")
+        super().__init__(sim, name=name or f"timeout({delay:g})")
+        self.delay = float(delay)
+        sim.call_later(delay, self._fire, value)
+
+    def _fire(self, value: Any) -> None:
+        if not self._triggered:
+            self.succeed(value)
+
+
+class Process(SimEvent):
+    """Wraps a generator that yields :class:`SimEvent` instances.
+
+    The process itself is an event: it succeeds with the generator's return
+    value, or fails with the exception the generator raised.  A failure of a
+    yielded event is re-raised *inside* the generator so it can be handled
+    with ordinary ``try/except``.
+    """
+
+    __slots__ = ("_gen", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        if not hasattr(gen, "send"):
+            raise SimulationError(
+                f"Process requires a generator, got {type(gen).__name__}; "
+                "did you forget to call the process function?"
+            )
+        super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
+        self._gen = gen
+        self._waiting_on: Optional[SimEvent] = None
+        # Bootstrap: resume the generator once the loop starts.
+        boot = SimEvent(sim, name=f"{self.name}/boot")
+        boot.add_callback(self._resume)
+        boot.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield point."""
+        if self._triggered:
+            return
+        target = self._waiting_on
+        self._waiting_on = None
+        # Deliver asynchronously so we do not re-enter the generator from
+        # arbitrary stacks.
+        self.sim.call_later(0.0, self._throw, Interrupt(cause), target)
+
+    def _throw(self, exc: BaseException, stale_target: Optional[SimEvent]) -> None:
+        if self._triggered:
+            return
+        try:
+            nxt = self._gen.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as err:  # pragma: no cover - defensive
+            self.fail(err)
+            return
+        self._wait_for(nxt)
+
+    def _resume(self, ev: SimEvent) -> None:
+        if self._triggered:
+            return
+        try:
+            if ev.ok:
+                nxt = self._gen.send(ev.value)
+            else:
+                nxt = self._gen.throw(ev.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as err:
+            self.fail(err)
+            return
+        self._wait_for(nxt)
+
+    def _wait_for(self, target: Any) -> None:
+        if not isinstance(target, SimEvent):
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded {target!r}; processes must yield SimEvent instances"
+                )
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class Interrupt(Exception):
+    """Raised inside a process generator by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class AllOf(SimEvent):
+    """Fires when every child event has fired; value is the list of values."""
+
+    __slots__ = ("_children", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[SimEvent], name: str = ""):
+        super().__init__(sim, name=name or "all_of")
+        self._children = list(events)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for ev in self._children:
+            ev.add_callback(self._child_done)
+
+    def _child_done(self, ev: SimEvent) -> None:
+        if self._triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([c.value for c in self._children])
+
+
+class AnyOf(SimEvent):
+    """Fires as soon as one child fires; value is ``(index, value)``."""
+
+    __slots__ = ("_children",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[SimEvent], name: str = ""):
+        super().__init__(sim, name=name or "any_of")
+        self._children = list(events)
+        if not self._children:
+            raise SimulationError("AnyOf requires at least one event")
+        for idx, ev in enumerate(self._children):
+            ev.add_callback(lambda e, i=idx: self._child_done(i, e))
+
+    def _child_done(self, idx: int, ev: SimEvent) -> None:
+        if self._triggered:
+            return
+        if ev.ok:
+            self.succeed((idx, ev.value))
+        else:
+            self.fail(ev.value)
+
+
+class Simulator:
+    """The event loop: a virtual clock plus a time-ordered event heap."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List = []
+        self._counter = itertools.count()
+        self._stopped = False
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time, in seconds."""
+        return self._now
+
+    # -- event construction helpers ---------------------------------------
+    def event(self, name: str = "") -> SimEvent:
+        """Create a fresh pending event."""
+        return SimEvent(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Timeout:
+        """Create an event firing after ``delay`` virtual seconds."""
+        return Timeout(self, delay, value=value, name=name)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Register a generator as a simulation process."""
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[SimEvent]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[SimEvent]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+    def call_later(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` virtual seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay!r})")
+        heapq.heappush(self._heap, (self._now + delay, next(self._counter), fn, args))
+
+    def call_at(self, when: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` at absolute virtual time ``when``."""
+        if when < self._now:
+            raise SimulationError(f"cannot schedule in the past (t={when!r} < now={self._now!r})")
+        heapq.heappush(self._heap, (when, next(self._counter), fn, args))
+
+    def _push_triggered(self, ev: SimEvent) -> None:
+        heapq.heappush(self._heap, (self._now, next(self._counter), self._process_event, (ev,)))
+
+    @staticmethod
+    def _process_event(ev: SimEvent) -> None:
+        ev._processed = True
+        callbacks, ev.callbacks = ev.callbacks, []
+        for fn in callbacks:
+            fn(ev)
+
+    # -- main loop ---------------------------------------------------------
+    def step(self) -> bool:
+        """Run one scheduled entry.  Returns False when the heap is empty."""
+        if not self._heap:
+            return False
+        when, _, fn, args = heapq.heappop(self._heap)
+        if when < self._now - 1e-15:  # pragma: no cover - defensive
+            raise SimulationError("time went backwards")
+        self._now = max(self._now, when)
+        fn(*args)
+        return True
+
+    def run(self, until: Optional[Any] = None, max_time: Optional[float] = None) -> Any:
+        """Run the loop.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run until no events remain; a :class:`SimEvent` — run
+            until that event is processed and return its value (raising its
+            exception if it failed); a number — run until virtual time
+            reaches that instant.
+        max_time:
+            Safety cap on virtual time; exceeding it raises
+            :class:`SimulationError` (used by tests as a deadlock guard).
+        """
+        self._stopped = False
+        target_event: Optional[SimEvent] = None
+        target_time: Optional[float] = None
+        if isinstance(until, SimEvent):
+            target_event = until
+        elif until is not None:
+            target_time = float(until)
+
+        while not self._stopped:
+            if target_event is not None and target_event.processed:
+                break
+            if not self._heap:
+                if target_event is not None and not target_event.triggered:
+                    raise SimulationError(
+                        f"simulation ran out of events while waiting for {target_event!r} "
+                        "(deadlock: nobody will ever trigger it)"
+                    )
+                break
+            next_when = self._heap[0][0]
+            if target_time is not None and next_when > target_time:
+                self._now = target_time
+                break
+            if max_time is not None and next_when > max_time:
+                raise SimulationError(f"virtual time exceeded max_time={max_time}")
+            self.step()
+
+        if target_event is not None and target_event.triggered:
+            if target_event.ok:
+                return target_event.value
+            raise target_event.value
+        return None
+
+    def stop(self) -> None:
+        """Stop :meth:`run` at the next iteration (used by watchdogs)."""
+        self._stopped = True
+
+    def pending_count(self) -> int:
+        """Number of scheduled entries still in the heap."""
+        return len(self._heap)

@@ -1,0 +1,370 @@
+"""Base classes for simulated networks, NICs and frame delivery.
+
+The model is deliberately first-order — it is the *software stack above* the
+wire that this reproduction studies, exactly like the paper.  A network is
+characterised by a one-way wire latency, a wire bandwidth, an MTU, per-frame
+header overhead and (for WAN-class networks) a loss rate.  Transmissions are
+serialised per sending NIC (link occupancy), so concurrent middleware
+systems sharing one NIC really do compete for the wire — which is what the
+NetAccess arbitration layer is about.
+
+Two transmission services are offered:
+
+``Network.transmit``
+    reliable, in-order message delivery — the service a Madeleine-class SAN
+    library or an established TCP connection provides to the layer above.
+    (For TCP the *throughput* model lives in :mod:`repro.simnet.tcp`; the
+    network only provides the underlying cost parameters.)
+
+``Network.transmit_datagram``
+    unreliable, per-packet-lossy delivery used by the UDP-like path of the
+    VRP loss-tolerant protocol.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.simnet.cost import Cost, MB, MICROSECOND
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simnet.engine import SimEvent, Simulator
+    from repro.simnet.host import Host
+
+
+PARADIGM_PARALLEL = "parallel"
+PARADIGM_DISTRIBUTED = "distributed"
+
+
+@dataclass
+class Frame:
+    """One message handed to the wire by a NIC."""
+
+    frame_id: int
+    src: "Host"
+    dst: "Host"
+    network: "Network"
+    channel: Any
+    payload: bytes
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Frame #{self.frame_id} {self.src.name}->{self.dst.name} "
+            f"chan={self.channel!r} {self.nbytes}B>"
+        )
+
+
+class Delivery:
+    """A frame arriving at a NIC, travelling *up* the receive stack.
+
+    The receive path of the reproduced stack (NetAccess demultiplexing,
+    adapter, personality, middleware unmarshalling) is a chain of synchronous
+    callbacks executed at the frame's arrival time.  Each stage charges its
+    software cost into :attr:`cost`; the terminal consumer then calls
+    :meth:`complete_into` so the application-visible completion event fires
+    only after the accumulated receive-side cost has elapsed.
+    """
+
+    def __init__(self, frame: Frame, arrived_at: float):
+        self.frame = frame
+        self.arrived_at = arrived_at
+        self.cost = Cost()
+        self.path: List[str] = []
+
+    @property
+    def payload(self) -> bytes:
+        return self.frame.payload
+
+    @property
+    def sim(self) -> "Simulator":
+        return self.frame.network.sim
+
+    def traverse(self, layer_name: str) -> None:
+        """Record that a software layer handled this delivery (for tracing)."""
+        self.path.append(layer_name)
+
+    def ready_time(self) -> float:
+        """Virtual time at which the data is available to the application."""
+        return self.arrived_at + self.cost.seconds
+
+    def complete_into(self, event: "SimEvent", value: Any = None) -> None:
+        """Trigger ``event`` once the receive-side software cost has elapsed."""
+        delay = max(0.0, self.ready_time() - self.sim.now)
+        event.succeed(value, delay=delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Delivery {self.frame!r} at {self.arrived_at:.9f}s +{self.cost.microseconds:.2f}us>"
+
+
+class Nic:
+    """A host's interface on one network.
+
+    Exactly one receive handler may be registered per NIC: in the paper's
+    model the arbitration layer (NetAccess) is "the only client of the
+    system-level resources".  Attempting to register a second handler raises,
+    and a test asserts this property.
+    """
+
+    def __init__(self, host: "Host", network: "Network", address: str):
+        self.host = host
+        self.network = network
+        self.address = address
+        self._tx_free_at = 0.0
+        self._receive_handler: Optional[Callable[[Delivery], None]] = None
+        self._owner: Optional[str] = None
+        self.tx_frames = 0
+        self.tx_bytes = 0
+        self.rx_frames = 0
+        self.rx_bytes = 0
+
+    # -- arbitration hook ----------------------------------------------------
+    def set_receive_handler(self, handler: Callable[[Delivery], None], owner: str) -> None:
+        """Install the single receive callback (owned by the arbitration layer)."""
+        if self._receive_handler is not None and self._owner != owner:
+            raise PermissionError(
+                f"NIC {self.address} on {self.network.name} is already owned by "
+                f"{self._owner!r}; concurrent system-level access must go through "
+                "the arbitration layer (NetAccess)"
+            )
+        self._receive_handler = handler
+        self._owner = owner
+
+    @property
+    def owner(self) -> Optional[str]:
+        return self._owner
+
+    # -- transmit --------------------------------------------------------------
+    def reserve_tx(self, start: float, duration: float) -> Tuple[float, float]:
+        """Serialise outbound transmissions on this NIC (link occupancy)."""
+        begin = max(start, self._tx_free_at)
+        end = begin + duration
+        self._tx_free_at = end
+        return begin, end
+
+    @property
+    def tx_free_at(self) -> float:
+        return self._tx_free_at
+
+    # -- receive ----------------------------------------------------------------
+    def handle_arrival(self, frame: Frame, arrived_at: float) -> None:
+        self.rx_frames += 1
+        self.rx_bytes += frame.nbytes
+        delivery = Delivery(frame, arrived_at)
+        if self._receive_handler is None:
+            self.network.record_drop(frame, reason="no-handler")
+            return
+        self._receive_handler(delivery)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Nic {self.address} host={self.host.name} net={self.network.name}>"
+
+
+class Network:
+    """A simulated network with a first-order latency/bandwidth/loss model."""
+
+    #: paradigm of the network: ``"parallel"`` for SAN-class networks
+    #: (Myrinet, SCI), ``"distributed"`` for IP-class networks.
+    paradigm = PARADIGM_DISTRIBUTED
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        *,
+        latency: float,
+        bandwidth: float,
+        mtu: int = 1500,
+        header_bytes: int = 0,
+        loss_rate: float = 0.0,
+        duplex: bool = True,
+        seed: int = 0x5EED,
+    ) -> None:
+        if latency < 0 or bandwidth <= 0 or mtu <= 0:
+            raise ValueError("invalid network parameters")
+        if not (0.0 <= loss_rate < 1.0):
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.sim = sim
+        self.name = name
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.mtu = mtu
+        self.header_bytes = header_bytes
+        self.loss_rate = loss_rate
+        self.duplex = duplex
+        self.rng = random.Random(seed)
+        self.nics: Dict["Host", Nic] = {}
+        self._frame_counter = itertools.count(1)
+        self._address_counter = itertools.count(1)
+        self.frames_sent = 0
+        self.frames_dropped = 0
+        self.bytes_carried = 0
+        self.drop_log: List[Tuple[int, str]] = []
+
+    # -- topology ----------------------------------------------------------------
+    def connect(self, host: "Host") -> Nic:
+        """Attach ``host`` to this network and return its NIC."""
+        if host in self.nics:
+            return self.nics[host]
+        address = self.make_address(host, next(self._address_counter))
+        nic = Nic(host, self, address)
+        self.nics[host] = nic
+        host.attach_nic(nic)
+        return nic
+
+    def make_address(self, host: "Host", index: int) -> str:
+        """Network-specific address syntax (overridden by IP-class networks)."""
+        return f"{self.name}:{host.name}#{index}"
+
+    def hosts(self) -> List["Host"]:
+        return list(self.nics.keys())
+
+    def is_attached(self, host: "Host") -> bool:
+        return host in self.nics
+
+    def connects(self, a: "Host", b: "Host") -> bool:
+        return a in self.nics and b in self.nics
+
+    def nic_of(self, host: "Host") -> Nic:
+        try:
+            return self.nics[host]
+        except KeyError:
+            raise LookupError(f"host {host.name!r} is not attached to {self.name!r}") from None
+
+    # -- timing model ---------------------------------------------------------------
+    def packets_for(self, nbytes: int) -> int:
+        """Number of MTU-sized packets needed for ``nbytes`` of payload."""
+        if nbytes <= 0:
+            return 1
+        return int(math.ceil(nbytes / self.mtu))
+
+    def wire_bytes(self, nbytes: int) -> int:
+        """Bytes on the wire including per-packet headers."""
+        return nbytes + self.packets_for(nbytes) * self.header_bytes
+
+    def serialization_time(self, nbytes: int) -> float:
+        """Time to push ``nbytes`` of payload through the wire."""
+        return self.wire_bytes(nbytes) / self.bandwidth
+
+    def one_way_time(self, nbytes: int) -> float:
+        """Wire latency plus serialisation time (no software costs)."""
+        return self.latency + self.serialization_time(nbytes)
+
+    # -- transmission -----------------------------------------------------------------
+    def transmit(
+        self,
+        src: "Host",
+        dst: "Host",
+        payload: bytes,
+        *,
+        channel: Any = None,
+        send_cost: Optional[Cost] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Frame:
+        """Reliable message transmission from ``src`` to ``dst``.
+
+        The frame leaves the source NIC after the accumulated *send-side*
+        software cost, waits for the NIC transmit link to be free, occupies
+        it for the serialisation time, then arrives at ``dst`` after the wire
+        latency.  The destination NIC's receive handler (installed by the
+        arbitration layer) is invoked at arrival time.
+        """
+        src_nic = self.nic_of(src)
+        dst_nic = self.nic_of(dst)
+        if src is dst:
+            raise ValueError(
+                f"{self.name}: transmit() to self; use the Loopback network for local links"
+            )
+        frame = Frame(
+            frame_id=next(self._frame_counter),
+            src=src,
+            dst=dst,
+            network=self,
+            channel=channel,
+            payload=bytes(payload),
+            meta=dict(meta or {}),
+        )
+        sw = send_cost.seconds if send_cost is not None else 0.0
+        ready = self.sim.now + sw
+        begin, end = src_nic.reserve_tx(ready, self.serialization_time(frame.nbytes))
+        arrival = end + self.latency
+        self.frames_sent += 1
+        self.bytes_carried += frame.nbytes
+        src_nic.tx_frames += 1
+        src_nic.tx_bytes += frame.nbytes
+        frame.meta.setdefault("tx_begin", begin)
+        frame.meta.setdefault("tx_end", end)
+        frame.meta.setdefault("arrival", arrival)
+        self.sim.call_at(arrival, dst_nic.handle_arrival, frame, arrival)
+        return frame
+
+    def transmit_datagram(
+        self,
+        src: "Host",
+        dst: "Host",
+        payload: bytes,
+        *,
+        channel: Any = None,
+        send_cost: Optional[Cost] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Optional[Frame]:
+        """Unreliable transmission: the whole datagram is dropped with the
+        network's per-packet loss probability applied to each MTU segment.
+
+        Returns the frame if it was put on the wire and will arrive, or
+        ``None`` if it was lost (the caller — UDP personality or VRP — deals
+        with it)."""
+        packets = self.packets_for(len(payload))
+        lost = any(self.rng.random() < self.loss_rate for _ in range(packets))
+        if lost:
+            self.frames_dropped += 1
+            self.drop_log.append((len(payload), "loss"))
+            # The bytes still occupy the sender's wire even when dropped
+            # downstream; charge occupancy so a lossy link cannot magically
+            # exceed its bandwidth by retransmitting for free.
+            src_nic = self.nic_of(src)
+            sw = send_cost.seconds if send_cost is not None else 0.0
+            src_nic.reserve_tx(self.sim.now + sw, self.serialization_time(len(payload)))
+            return None
+        return self.transmit(
+            src, dst, payload, channel=channel, send_cost=send_cost, meta=meta
+        )
+
+    def record_drop(self, frame: Frame, reason: str) -> None:
+        self.frames_dropped += 1
+        self.drop_log.append((frame.nbytes, reason))
+
+    # -- descriptive -----------------------------------------------------------------
+    @property
+    def is_parallel(self) -> bool:
+        return self.paradigm == PARADIGM_PARALLEL
+
+    @property
+    def is_distributed(self) -> bool:
+        return self.paradigm == PARADIGM_DISTRIBUTED
+
+    def describe(self) -> Dict[str, Any]:
+        """Static description used by the topology knowledge base."""
+        return {
+            "name": self.name,
+            "paradigm": self.paradigm,
+            "latency_us": self.latency / MICROSECOND,
+            "bandwidth_MBps": self.bandwidth / MB,
+            "mtu": self.mtu,
+            "loss_rate": self.loss_rate,
+            "hosts": [h.name for h in self.nics],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} {self.name} lat={self.latency * 1e6:.1f}us "
+            f"bw={self.bandwidth / MB:.1f}MB/s hosts={len(self.nics)}>"
+        )

@@ -1,0 +1,588 @@
+"""A window-based TCP model for the distributed-paradigm networks.
+
+The system-level interface of the distributed world in the paper is the
+socket API provided by the operating system; the SysIO subsystem of the
+NetAccess arbitration layer sits directly on top of it.  This module plays
+the role of that OS network stack:
+
+* connection establishment (SYN / SYN-ACK, one round trip),
+* an ordered byte-stream per connection,
+* congestion control — slow start + AIMD with a per-burst loss draw — which
+  is what makes a single stream collapse on lossy WANs (the 150 KB/s TCP
+  figure of §5) and what parallel streams (GridFTP-style) work around,
+* kernel-crossing and copy costs charged per operation.
+
+The model is *burst based*: each "round" the sender pushes up to one
+congestion window of bytes as a single simulated frame, then waits for the
+longer of the acknowledgement round-trip and the wire serialisation time
+before the next round.  For a loss-free LAN this converges to the wire
+bandwidth; for a long fat network it converges to the Mathis steady state
+``~MSS/(RTT*sqrt(p))`` that the VTHD measurements reflect.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.simnet.cost import Cost, KB
+from repro.simnet.network import Delivery, Network, PARADIGM_DISTRIBUTED
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simnet.engine import SimEvent, Simulator
+    from repro.simnet.host import Host
+
+
+SERVICE_KEY = "tcp"
+
+CH_SYN = "tcp-syn"
+CH_SYNACK = "tcp-synack"
+CH_DATA = "tcp-data"
+CH_FIN = "tcp-fin"
+
+
+@dataclass
+class TcpModel:
+    """Tunable parameters of the TCP window model."""
+
+    #: initial congestion window, in segments (RFC 2581-era default).
+    initial_window_segments: int = 2
+    #: receiver window (socket buffer) in bytes.
+    receive_window: int = 256 * KB
+    #: initial slow-start threshold in bytes ("infinite" by default).
+    initial_ssthresh: int = 1 << 30
+    #: minimum congestion window in segments.
+    min_window_segments: int = 1
+    #: retransmission timeout expressed in round-trip times.
+    rto_rtts: float = 2.0
+
+    def initial_cwnd(self, mss: int) -> int:
+        return self.initial_window_segments * mss
+
+    def min_cwnd(self, mss: int) -> int:
+        return self.min_window_segments * mss
+
+
+class TcpError(ConnectionError):
+    """Connection-level failures (refused, reset, closed)."""
+
+
+class TcpStack:
+    """Per-host OS network stack for distributed-paradigm networks."""
+
+    def __init__(self, host: "Host", model: Optional[TcpModel] = None):
+        self.host = host
+        self.sim = host.sim
+        self.model = model or TcpModel()
+        self._listeners: Dict[int, "TcpListener"] = {}
+        self._connections: Dict[int, "TcpConnection"] = {}
+        self._conn_ids = itertools.count(1)
+        self._ephemeral_ports = itertools.count(32768)
+        self._owned_networks: List[Network] = []
+        host.register_service(SERVICE_KEY, self)
+        # The OS owns the IP NICs from boot: claim whatever is already
+        # attached so that e.g. RSTs for unserved ports can be delivered.
+        self.attach_all()
+
+    # -- network attachment -------------------------------------------------
+    def attach(self, network: Network) -> None:
+        """Claim the host's NIC on ``network`` (the stack is the OS: it owns
+        the distributed-paradigm NICs, and everything above goes through it)."""
+        if network.paradigm != PARADIGM_DISTRIBUTED:
+            raise ValueError(
+                f"TcpStack only drives distributed-paradigm networks, not {network.name!r}"
+            )
+        if network in self._owned_networks:
+            return
+        nic = network.nic_of(self.host)
+        nic.set_receive_handler(self._handle_delivery, owner="os-tcp")
+        self._owned_networks.append(network)
+
+    def attach_all(self) -> None:
+        """Attach every distributed-paradigm network the host is connected to."""
+        for network in self.host.networks():
+            if network.paradigm == PARADIGM_DISTRIBUTED:
+                self.attach(network)
+
+    def networks(self) -> List[Network]:
+        return list(self._owned_networks)
+
+    def _default_network_to(self, peer: "Host") -> Network:
+        for network in self._owned_networks:
+            if network.is_attached(peer):
+                return network
+        # fall back to any shared distributed network, attaching lazily
+        for network in self.host.shares_network_with(peer):
+            if network.paradigm == PARADIGM_DISTRIBUTED:
+                self.attach(network)
+                return network
+        raise TcpError(
+            f"no common IP network between {self.host.name} and {peer.name}"
+        )
+
+    # -- passive open ---------------------------------------------------------
+    def listen(self, port: int, backlog: int = 16) -> "TcpListener":
+        """Create a listening socket on ``port``."""
+        if port in self._listeners:
+            raise TcpError(f"port {port} already in use on {self.host.name}")
+        self.attach_all()
+        listener = TcpListener(self, port, backlog)
+        self._listeners[port] = listener
+        return listener
+
+    def close_listener(self, port: int) -> None:
+        self._listeners.pop(port, None)
+
+    # -- active open -------------------------------------------------------------
+    def connect(
+        self, peer: "Host", port: int, network: Optional[Network] = None
+    ) -> "SimEvent":
+        """Open a connection to ``peer:port``.
+
+        Returns an event that succeeds with the established
+        :class:`TcpConnection` after one handshake round-trip, or fails with
+        :class:`TcpError` if nobody listens on the port.
+        """
+        network = network or self._default_network_to(peer)
+        self.attach(network)
+        conn = TcpConnection(
+            stack=self,
+            network=network,
+            peer_host=peer,
+            local_port=next(self._ephemeral_ports),
+            remote_port=port,
+        )
+        self._connections[conn.conn_id] = conn
+        done = self.sim.event(name=f"connect({self.host.name}->{peer.name}:{port})")
+        conn._connect_event = done
+        cost = Cost().charge(self.host.cpu.syscall_overhead, "tcp.connect")
+        network.transmit(
+            self.host,
+            peer,
+            b"SYN",
+            channel=(CH_SYN, port),
+            send_cost=cost,
+            meta={"client_conn": conn.conn_id, "client_port": conn.local_port},
+        )
+        return done
+
+    # -- demultiplexing -----------------------------------------------------------
+    def _handle_delivery(self, delivery: Delivery) -> None:
+        delivery.traverse("os-tcp")
+        channel = delivery.frame.channel
+        if not isinstance(channel, tuple) or len(channel) != 2:
+            delivery.frame.network.record_drop(delivery.frame, "tcp-bad-channel")
+            return
+        kind, key = channel
+        if kind == CH_SYN:
+            self._handle_syn(key, delivery)
+        elif kind == CH_SYNACK:
+            self._handle_synack(key, delivery)
+        elif kind == CH_DATA:
+            conn = self._connections.get(key)
+            if conn is not None:
+                conn._on_segment(delivery)
+            else:
+                delivery.frame.network.record_drop(delivery.frame, "tcp-no-conn")
+        elif kind == CH_FIN:
+            conn = self._connections.get(key)
+            if conn is not None:
+                conn._on_fin(delivery)
+        else:
+            delivery.frame.network.record_drop(delivery.frame, "tcp-unknown")
+
+    def _handle_syn(self, port: int, delivery: Delivery) -> None:
+        listener = self._listeners.get(port)
+        frame = delivery.frame
+        client_conn_id = frame.meta["client_conn"]
+        if listener is None or listener.is_full():
+            # RST: tell the client the connection was refused.
+            frame.network.transmit(
+                self.host,
+                frame.src,
+                b"RST",
+                channel=(CH_SYNACK, client_conn_id),
+                send_cost=Cost().charge(self.host.cpu.syscall_overhead, "tcp.rst"),
+                meta={"refused": True},
+            )
+            return
+        conn = TcpConnection(
+            stack=self,
+            network=frame.network,
+            peer_host=frame.src,
+            local_port=port,
+            remote_port=frame.meta["client_port"],
+        )
+        conn.peer_conn_id = client_conn_id
+        conn.established = True
+        self._connections[conn.conn_id] = conn
+        cost = Cost().charge(self.host.cpu.syscall_overhead, "tcp.accept")
+        frame.network.transmit(
+            self.host,
+            frame.src,
+            b"SYNACK",
+            channel=(CH_SYNACK, client_conn_id),
+            send_cost=cost,
+            meta={"server_conn": conn.conn_id},
+        )
+        listener._enqueue(conn, delivery)
+
+    def _handle_synack(self, client_conn_id: int, delivery: Delivery) -> None:
+        conn = self._connections.get(client_conn_id)
+        if conn is None:
+            return
+        frame = delivery.frame
+        done = conn._connect_event
+        conn._connect_event = None
+        if frame.meta.get("refused"):
+            self._connections.pop(client_conn_id, None)
+            if done is not None and not done.triggered:
+                done.fail(TcpError(f"connection refused by {frame.src.name}:{conn.remote_port}"))
+            return
+        conn.peer_conn_id = frame.meta["server_conn"]
+        conn.established = True
+        delivery.cost.charge(self.host.cpu.syscall_overhead, "tcp.connect-complete")
+        if done is not None and not done.triggered:
+            delivery.complete_into(done, conn)
+
+    def _unregister(self, conn: "TcpConnection") -> None:
+        self._connections.pop(conn.conn_id, None)
+
+    def new_conn_id(self) -> int:
+        return next(self._conn_ids)
+
+
+class TcpListener:
+    """A listening socket: queue of established connections plus accept events."""
+
+    def __init__(self, stack: TcpStack, port: int, backlog: int):
+        self.stack = stack
+        self.port = port
+        self.backlog = backlog
+        self._ready: List[TcpConnection] = []
+        self._waiters: List = []
+        self._accept_callback: Optional[Callable[["TcpConnection"], None]] = None
+        self.accepted_count = 0
+
+    def is_full(self) -> bool:
+        return len(self._ready) >= self.backlog
+
+    def set_accept_callback(self, fn: Callable[["TcpConnection"], None]) -> None:
+        """Callback mode used by SysIO: invoked for every incoming connection."""
+        self._accept_callback = fn
+        while self._ready:
+            fn(self._ready.pop(0))
+
+    def accept(self) -> "SimEvent":
+        """Event mode: succeeds with the next established connection."""
+        ev = self.stack.sim.event(name=f"accept(:{self.port})")
+        if self._ready:
+            ev.succeed(self._ready.pop(0))
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def _enqueue(self, conn: "TcpConnection", delivery: Delivery) -> None:
+        self.accepted_count += 1
+        if self._waiters:
+            delivery.complete_into(self._waiters.pop(0), conn)
+        elif self._accept_callback is not None:
+            self._accept_callback(conn)
+        else:
+            self._ready.append(conn)
+
+    def close(self) -> None:
+        self.stack.close_listener(self.port)
+
+
+class TcpConnection:
+    """One established (or connecting) TCP endpoint."""
+
+    def __init__(
+        self,
+        stack: TcpStack,
+        network: Network,
+        peer_host: "Host",
+        local_port: int,
+        remote_port: int,
+    ):
+        self.stack = stack
+        self.sim = stack.sim
+        self.network = network
+        self.host = stack.host
+        self.peer_host = peer_host
+        self.local_port = local_port
+        self.remote_port = remote_port
+        self.conn_id = stack.new_conn_id()
+        self.peer_conn_id: Optional[int] = None
+        self.established = False
+        self.closed = False
+        self._connect_event: Optional["SimEvent"] = None
+
+        mss = network.mtu
+        self.mss = mss
+        self.cwnd = stack.model.initial_cwnd(mss)
+        self.ssthresh = stack.model.initial_ssthresh
+        self._rng = random.Random((network.rng.randint(0, 1 << 30) << 8) ^ self.conn_id)
+
+        self._sendq: List[List] = []  # entries: [memoryview, offset, done_event]
+        self._pumping = False
+        self._rx_buffer = bytearray()
+        self._pending_reads: List[Tuple[Optional[int], bool, "SimEvent"]] = []
+        self._data_callback: Optional[Callable[["TcpConnection"], None]] = None
+        self._close_callback: Optional[Callable[["TcpConnection"], None]] = None
+
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.retransmitted_bytes = 0
+        self.rounds = 0
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def rtt(self) -> float:
+        return 2.0 * self.network.latency
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<TcpConnection #{self.conn_id} {self.host.name}:{self.local_port}"
+            f"->{self.peer_host.name}:{self.remote_port} cwnd={self.cwnd}>"
+        )
+
+    # -- sending ------------------------------------------------------------------
+    def send(self, data: bytes) -> "SimEvent":
+        """Queue ``data`` on the stream.
+
+        The returned event succeeds (with the byte count) when the last byte
+        of this call has been delivered into the peer's receive buffer.
+        """
+        if self.closed:
+            raise TcpError("send() on closed connection")
+        if not self.established:
+            raise TcpError("send() before the connection is established")
+        done = self.sim.event(name=f"tcp-send({len(data)}B)")
+        if len(data) == 0:
+            done.succeed(0)
+            return done
+        self._sendq.append([memoryview(bytes(data)), 0, done, len(data)])
+        if not self._pumping:
+            self._pumping = True
+            # Charge the send()-side kernel crossing and user->kernel copy once
+            # per send call; per-burst wire costs are handled by the pump.
+            cost = Cost()
+            cost.charge(self.host.cpu.syscall_overhead, "tcp.send.syscall")
+            cost.charge_copy(len(data), self.host.cpu.memcpy_bandwidth, "tcp.send.copy")
+            self.sim.call_later(cost.seconds, self._pump)
+        return done
+
+    def _pump(self) -> None:
+        if self.closed or not self._sendq:
+            self._pumping = False
+            return
+        window = min(self.cwnd, self.stack.model.receive_window)
+        burst = bytearray()
+        finishing: List[Tuple["SimEvent", int]] = []
+        # Assemble up to one window of bytes from the head of the send queue.
+        while self._sendq and len(burst) < window:
+            entry = self._sendq[0]
+            view, offset, done, total = entry
+            take = min(window - len(burst), len(view) - offset)
+            burst += view[offset : offset + take]
+            entry[1] = offset + take
+            if entry[1] >= len(view):
+                self._sendq.pop(0)
+                finishing.append((done, total))
+        attempted = len(burst)
+        npkts = self.network.packets_for(attempted)
+        lost_pkts = self._draw_losses(npkts)
+        delivered = attempted if lost_pkts == 0 else max(0, attempted - lost_pkts * self.mss)
+        self.rounds += 1
+
+        if delivered > 0:
+            payload = bytes(burst[:delivered])
+            frame = self.network.transmit(
+                self.host,
+                self.peer_host,
+                payload,
+                channel=(CH_DATA, self.peer_conn_id),
+                send_cost=None,
+                meta={"seq": self.bytes_sent},
+            )
+            arrival = frame.meta["arrival"]
+            self.bytes_sent += delivered
+        else:
+            arrival = None
+
+        undelivered = attempted - delivered
+        if undelivered > 0:
+            self.retransmitted_bytes += undelivered
+            # Put the unsent suffix back at the head of the queue, preserving
+            # per-send completion bookkeeping.
+            leftover = bytes(burst[delivered:])
+            requeue = [memoryview(leftover), 0, None, len(leftover)]
+            self._sendq.insert(0, requeue)
+            # Completion events for sends whose tail was cut must be deferred:
+            # move them onto the requeued entry.
+            if finishing:
+                requeue[2] = finishing[-1][0]
+                finishing = finishing[:-1]
+
+        for done, total in finishing:
+            if done is None or done.triggered:
+                continue
+            if arrival is not None:
+                self.sim.call_at(arrival, self._complete_send, done, total)
+            else:  # pragma: no cover - whole burst lost and nothing delivered
+                self._sendq.append([memoryview(b""), 0, done, total])
+
+        self._update_window(lost_pkts, delivered)
+
+        serialization = self.network.serialization_time(attempted) if attempted else 0.0
+        if self._sendq:
+            if delivered == 0:
+                wait = self.stack.model.rto_rtts * self.rtt
+            else:
+                wait = max(self.rtt, serialization)
+            # Never pump faster than the NIC can drain (other connections on
+            # the same host share the wire).
+            nic = self.network.nic_of(self.host)
+            wait = max(wait, nic.tx_free_at - self.sim.now)
+            self.sim.call_later(wait, self._pump)
+        else:
+            self._pumping = False
+
+    @staticmethod
+    def _complete_send(done: "SimEvent", total: int) -> None:
+        if not done.triggered:
+            done.succeed(total)
+
+    def _draw_losses(self, npkts: int) -> int:
+        p = self.network.loss_rate
+        if p <= 0.0 or npkts == 0:
+            return 0
+        lost = 0
+        for _ in range(npkts):
+            if self._rng.random() < p:
+                lost += 1
+        return lost
+
+    def _update_window(self, lost_pkts: int, delivered: int) -> None:
+        mss = self.mss
+        if lost_pkts > 0:
+            self.ssthresh = max(self.cwnd // 2, 2 * mss)
+            if delivered == 0:
+                # retransmission timeout: back to one segment, slow start again
+                self.cwnd = self.stack.model.min_cwnd(mss)
+            else:
+                self.cwnd = self.ssthresh
+        else:
+            if self.cwnd < self.ssthresh:
+                self.cwnd += delivered  # slow start: double per round
+            else:
+                self.cwnd += mss  # congestion avoidance: +1 MSS per round
+        self.cwnd = max(self.cwnd, self.stack.model.min_cwnd(mss))
+        self.cwnd = min(self.cwnd, self.stack.model.receive_window)
+
+    # -- receiving -----------------------------------------------------------------
+    def _on_segment(self, delivery: Delivery) -> None:
+        delivery.traverse(f"tcp-conn-{self.conn_id}")
+        delivery.cost.charge(self.host.cpu.syscall_overhead, "tcp.recv.syscall")
+        delivery.cost.charge_copy(
+            delivery.frame.nbytes, self.host.cpu.memcpy_bandwidth, "tcp.recv.copy"
+        )
+        # Enqueue the bytes once the kernel-side processing time has elapsed.
+        self.sim.call_at(delivery.ready_time(), self._append_rx, delivery.payload)
+
+    def _append_rx(self, payload: bytes) -> None:
+        self._rx_buffer += payload
+        self.bytes_received += len(payload)
+        self._satisfy_reads()
+        if self._data_callback is not None and len(self._rx_buffer) > 0:
+            self._data_callback(self)
+
+    def _on_fin(self, delivery: Delivery) -> None:
+        self.sim.call_at(delivery.ready_time(), self._do_close_passive)
+
+    def _do_close_passive(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self._fail_pending()
+        if self._close_callback is not None:
+            self._close_callback(self)
+
+    def _satisfy_reads(self) -> None:
+        while self._pending_reads and self._rx_buffer:
+            nbytes, exact, ev = self._pending_reads[0]
+            if exact and nbytes is not None and len(self._rx_buffer) < nbytes:
+                return
+            self._pending_reads.pop(0)
+            take = len(self._rx_buffer) if nbytes is None else min(nbytes, len(self._rx_buffer))
+            chunk = bytes(self._rx_buffer[:take])
+            del self._rx_buffer[:take]
+            if not ev.triggered:
+                ev.succeed(chunk)
+
+    def set_data_callback(self, fn: Optional[Callable[["TcpConnection"], None]]) -> None:
+        """Register the "socket is readable" callback (used by SysIO)."""
+        self._data_callback = fn
+        if fn is not None and self._rx_buffer:
+            fn(self)
+
+    def set_close_callback(self, fn: Optional[Callable[["TcpConnection"], None]]) -> None:
+        self._close_callback = fn
+
+    def available(self) -> int:
+        """Bytes currently readable without blocking."""
+        return len(self._rx_buffer)
+
+    def read_available(self, limit: Optional[int] = None) -> bytes:
+        """Non-blocking read of whatever is buffered (up to ``limit``)."""
+        take = len(self._rx_buffer) if limit is None else min(limit, len(self._rx_buffer))
+        chunk = bytes(self._rx_buffer[:take])
+        del self._rx_buffer[:take]
+        return chunk
+
+    def recv(self, nbytes: Optional[int] = None) -> "SimEvent":
+        """Event completing with at least one byte (up to ``nbytes``)."""
+        return self._queue_read(nbytes, exact=False)
+
+    def recv_exact(self, nbytes: int) -> "SimEvent":
+        """Event completing with exactly ``nbytes`` bytes (message framing)."""
+        return self._queue_read(nbytes, exact=True)
+
+    def _queue_read(self, nbytes: Optional[int], exact: bool) -> "SimEvent":
+        ev = self.sim.event(name=f"tcp-recv({nbytes})")
+        if self.closed and not self._rx_buffer:
+            ev.fail(TcpError("recv() on closed connection"))
+            return ev
+        self._pending_reads.append((nbytes, exact, ev))
+        self._satisfy_reads()
+        return ev
+
+    # -- teardown -----------------------------------------------------------------
+    def close(self) -> None:
+        """Active close: notify the peer, fail any pending reads there."""
+        if self.closed:
+            return
+        self.closed = True
+        if self.established and self.peer_conn_id is not None:
+            self.network.transmit(
+                self.host,
+                self.peer_host,
+                b"FIN",
+                channel=(CH_FIN, self.peer_conn_id),
+                send_cost=Cost().charge(self.host.cpu.syscall_overhead, "tcp.close"),
+            )
+        self.stack._unregister(self)
+        self._fail_pending()
+
+    def _fail_pending(self) -> None:
+        pending, self._pending_reads = self._pending_reads, []
+        for _, _, ev in pending:
+            if not ev.triggered:
+                if self._rx_buffer:
+                    ev.succeed(self.read_available())
+                else:
+                    ev.fail(TcpError("connection closed"))

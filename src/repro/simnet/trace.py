@@ -1,0 +1,173 @@
+"""Lightweight tracing and statistics helpers for the simulator.
+
+The benchmark harness and several tests want to know *what happened*
+(which layer handled a message, how many frames crossed a network, what the
+observed bandwidth of a transfer was) without printing anything during the
+simulation.  :class:`Trace` is an in-memory, append-only record of events;
+:class:`Counter` aggregates named integer/float statistics; the module-level
+helpers compute the derived quantities the paper reports (bandwidth in
+decimal MB/s, one-way latency from a ping-pong, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.simnet.cost import MB, MICROSECOND
+
+
+@dataclass
+class TraceRecord:
+    """One traced event."""
+
+    time: float
+    category: str
+    label: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.time * 1e6:10.2f}us {self.category}:{self.label} {self.data}>"
+
+
+class Trace:
+    """Append-only event log, filterable by category."""
+
+    def __init__(self, enabled: bool = True, limit: Optional[int] = None):
+        self.enabled = enabled
+        self.limit = limit
+        self.records: List[TraceRecord] = []
+        self.dropped = 0
+
+    def record(self, time: float, category: str, label: str, **data: Any) -> None:
+        if not self.enabled:
+            return
+        if self.limit is not None and len(self.records) >= self.limit:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(time=time, category=category, label=label, data=data))
+
+    def by_category(self, category: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.category == category]
+
+    def labels(self, category: Optional[str] = None) -> List[str]:
+        return [r.label for r in self.records if category is None or r.category == category]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0
+
+
+class Counter:
+    """Named accumulators (counts, byte totals, durations)."""
+
+    def __init__(self) -> None:
+        self._values: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+
+    def add(self, name: str, value: float = 1.0) -> None:
+        self._values[name] = self._values.get(name, 0.0) + value
+        self._counts[name] = self._counts.get(name, 0) + 1
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self._values.get(name, default)
+
+    def count(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def mean(self, name: str) -> float:
+        n = self._counts.get(name, 0)
+        if n == 0:
+            raise KeyError(f"no samples for {name!r}")
+        return self._values[name] / n
+
+    def names(self) -> Iterable[str]:
+        return self._values.keys()
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._values)
+
+    def clear(self) -> None:
+        self._values.clear()
+        self._counts.clear()
+
+
+@dataclass
+class TransferSample:
+    """One measured transfer: bytes moved and elapsed virtual time."""
+
+    nbytes: int
+    elapsed: float
+
+    @property
+    def bandwidth(self) -> float:
+        """Bytes per second."""
+        if self.elapsed <= 0:
+            raise ValueError("elapsed must be positive")
+        return self.nbytes / self.elapsed
+
+    @property
+    def bandwidth_MBps(self) -> float:
+        return self.bandwidth / MB
+
+    @property
+    def elapsed_us(self) -> float:
+        return self.elapsed / MICROSECOND
+
+
+def one_way_latency_from_roundtrip(roundtrip: float) -> float:
+    """The paper reports one-way latency as half the ping-pong round trip."""
+    if roundtrip < 0:
+        raise ValueError("round trip time cannot be negative")
+    return roundtrip / 2.0
+
+
+def bandwidth_MBps(nbytes: int, elapsed: float) -> float:
+    """Observed bandwidth in decimal MB/s (the unit used by the paper)."""
+    if elapsed <= 0:
+        raise ValueError("elapsed must be positive")
+    return (nbytes / elapsed) / MB
+
+
+def summarize_samples(samples: Iterable[TransferSample]) -> Dict[str, float]:
+    """Aggregate bandwidth statistics for a series of transfers."""
+    samples = list(samples)
+    if not samples:
+        raise ValueError("no samples")
+    total_bytes = sum(s.nbytes for s in samples)
+    total_time = sum(s.elapsed for s in samples)
+    bws = [s.bandwidth_MBps for s in samples]
+    return {
+        "count": float(len(samples)),
+        "total_bytes": float(total_bytes),
+        "total_time": total_time,
+        "aggregate_MBps": bandwidth_MBps(total_bytes, total_time),
+        "min_MBps": min(bws),
+        "max_MBps": max(bws),
+        "mean_MBps": sum(bws) / len(bws),
+    }
+
+
+class Probe:
+    """A callable hook point: layers call ``probe(label, **data)`` and tests
+    or the bench harness subscribe to observe internal behaviour without
+    changing the layer code."""
+
+    def __init__(self) -> None:
+        self._subscribers: List[Callable[[str, Dict[str, Any]], None]] = []
+
+    def subscribe(self, fn: Callable[[str, Dict[str, Any]], None]) -> None:
+        self._subscribers.append(fn)
+
+    def unsubscribe(self, fn: Callable[[str, Dict[str, Any]], None]) -> None:
+        self._subscribers.remove(fn)
+
+    def __call__(self, label: str, **data: Any) -> None:
+        for fn in self._subscribers:
+            fn(label, dict(data))

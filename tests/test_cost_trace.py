@@ -1,0 +1,178 @@
+"""Unit tests for cost accounting and tracing helpers."""
+
+import pytest
+
+from repro.simnet.cost import (
+    Cost,
+    combine_bandwidths,
+    effective_bandwidth,
+    format_bandwidth,
+    format_latency,
+    latency_bandwidth_time,
+    required_copy_bandwidth,
+    split_even,
+    MB,
+)
+from repro.simnet.trace import (
+    Counter,
+    Probe,
+    Trace,
+    TransferSample,
+    bandwidth_MBps,
+    one_way_latency_from_roundtrip,
+    summarize_samples,
+)
+
+
+def test_cost_accumulates():
+    c = Cost()
+    c.charge(1e-6, "a").charge(2e-6, "b").charge(3e-6, "a")
+    assert c.seconds == pytest.approx(6e-6)
+    assert c.component("a") == pytest.approx(4e-6)
+    assert c.component("b") == pytest.approx(2e-6)
+    assert c.component("missing") == 0.0
+
+
+def test_cost_charge_us():
+    c = Cost().charge_us(2.5, "x")
+    assert c.microseconds == pytest.approx(2.5)
+
+
+def test_cost_copy_charging():
+    c = Cost().charge_copy(1_000_000, 100 * MB)
+    assert c.seconds == pytest.approx(0.01)
+
+
+def test_cost_rejects_invalid():
+    with pytest.raises(ValueError):
+        Cost().charge(-1.0)
+    with pytest.raises(ValueError):
+        Cost().charge_copy(10, 0)
+    with pytest.raises(ValueError):
+        Cost().charge_copy(-1, 100)
+
+
+def test_cost_merge_and_copy():
+    a = Cost().charge(1e-6, "x")
+    b = Cost().charge(2e-6, "x").charge(1e-6, "y")
+    clone = a.copy()
+    a.merge(b)
+    assert a.seconds == pytest.approx(4e-6)
+    assert clone.seconds == pytest.approx(1e-6)
+    assert set(a.labels()) == {"x", "y"}
+
+
+def test_latency_bandwidth_time():
+    assert latency_bandwidth_time(1000, 1e-3, 1e6) == pytest.approx(2e-3)
+    with pytest.raises(ValueError):
+        latency_bandwidth_time(10, 0.1, 0)
+
+
+def test_effective_bandwidth():
+    assert effective_bandwidth(1000, 0.001) == pytest.approx(1e6)
+    with pytest.raises(ValueError):
+        effective_bandwidth(1, 0)
+
+
+def test_combine_bandwidths_harmonic():
+    assert combine_bandwidths(100.0, 100.0) == pytest.approx(50.0)
+    assert combine_bandwidths(240.0) == pytest.approx(240.0)
+    with pytest.raises(ValueError):
+        combine_bandwidths(0.0)
+
+
+def test_required_copy_bandwidth_inverts_combination():
+    wire = 240.0
+    copy = required_copy_bandwidth(55.0, wire)
+    assert combine_bandwidths(wire, copy) == pytest.approx(55.0)
+    with pytest.raises(ValueError):
+        required_copy_bandwidth(300.0, 240.0)
+
+
+def test_split_even():
+    assert split_even(10, 3) == (4, 3, 3)
+    assert sum(split_even(1_000_001, 7)) == 1_000_001
+    assert split_even(0, 2) == (0, 0)
+    with pytest.raises(ValueError):
+        split_even(5, 0)
+
+
+def test_format_helpers():
+    assert format_bandwidth(240 * MB) == "240.0 MB/s"
+    assert format_bandwidth(150_000, unit="KB/s") == "150 KB/s"
+    assert "us" in format_latency(8.4e-6)
+    assert "ms" in format_latency(8e-3)
+    with pytest.raises(ValueError):
+        format_bandwidth(1.0, unit="furlongs")
+
+
+def test_trace_records_and_filters():
+    trace = Trace()
+    trace.record(0.0, "send", "a", nbytes=10)
+    trace.record(1.0, "recv", "b")
+    assert len(trace) == 2
+    assert [r.label for r in trace.by_category("send")] == ["a"]
+    assert trace.labels("recv") == ["b"]
+    trace.clear()
+    assert len(trace) == 0
+
+
+def test_trace_limit():
+    trace = Trace(limit=2)
+    for i in range(5):
+        trace.record(float(i), "x", str(i))
+    assert len(trace) == 2
+    assert trace.dropped == 3
+
+
+def test_trace_disabled():
+    trace = Trace(enabled=False)
+    trace.record(0.0, "x", "y")
+    assert len(trace) == 0
+
+
+def test_counter():
+    c = Counter()
+    c.add("bytes", 100)
+    c.add("bytes", 200)
+    c.add("events")
+    assert c.get("bytes") == 300
+    assert c.count("bytes") == 2
+    assert c.mean("bytes") == 150
+    assert c.get("missing") == 0.0
+    with pytest.raises(KeyError):
+        c.mean("missing")
+    assert set(c.names()) == {"bytes", "events"}
+
+
+def test_transfer_sample_and_summary():
+    s = TransferSample(nbytes=1_000_000, elapsed=0.01)
+    assert s.bandwidth_MBps == pytest.approx(100.0)
+    assert s.elapsed_us == pytest.approx(10_000)
+    summary = summarize_samples([s, TransferSample(2_000_000, 0.01)])
+    assert summary["count"] == 2
+    assert summary["max_MBps"] == pytest.approx(200.0)
+    with pytest.raises(ValueError):
+        summarize_samples([])
+    with pytest.raises(ValueError):
+        TransferSample(1, 0).bandwidth
+
+
+def test_latency_and_bandwidth_helpers():
+    assert one_way_latency_from_roundtrip(20e-6) == pytest.approx(10e-6)
+    assert bandwidth_MBps(1_000_000, 1.0) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        one_way_latency_from_roundtrip(-1)
+    with pytest.raises(ValueError):
+        bandwidth_MBps(1, 0)
+
+
+def test_probe_subscription():
+    probe = Probe()
+    seen = []
+    fn = lambda label, data: seen.append((label, data))
+    probe.subscribe(fn)
+    probe("hit", x=1)
+    probe.unsubscribe(fn)
+    probe("miss", x=2)
+    assert seen == [("hit", {"x": 1})]

@@ -1,0 +1,273 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.simnet.engine import (
+    AllOf,
+    AnyOf,
+    Interrupt,
+    Process,
+    SimEvent,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    t = sim.timeout(1.5)
+    sim.run()
+    assert t.triggered
+    assert sim.now == pytest.approx(1.5)
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.call_later(2.0, lambda: order.append("b"))
+    sim.call_later(1.0, lambda: order.append("a"))
+    sim.call_later(3.0, lambda: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_fifo():
+    sim = Simulator()
+    order = []
+    for name in "abcd":
+        sim.call_later(1.0, lambda n=name: order.append(n))
+    sim.run()
+    assert order == list("abcd")
+
+
+def test_event_succeed_carries_value():
+    sim = Simulator()
+    ev = sim.event()
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    ev.succeed(42)
+    sim.run()
+    assert seen == [42]
+    assert ev.ok and ev.processed
+
+
+def test_event_cannot_trigger_twice():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_requires_exception():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        ev.fail("not an exception")
+
+
+def test_delayed_succeed():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("later", delay=2.0)
+    sim.run(until=ev)
+    assert sim.now == pytest.approx(2.0)
+    assert ev.value == "later"
+
+
+def test_callback_after_processing_runs_immediately():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(7)
+    sim.run()
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    assert seen == [7]
+
+
+def test_chain_propagates_value():
+    sim = Simulator()
+    a, b = sim.event(), sim.event()
+    a.chain(b)
+    a.succeed("x")
+    sim.run()
+    assert b.value == "x"
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_cannot_schedule_in_the_past():
+    sim = Simulator()
+    sim.call_later(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(1.0, lambda: None)
+
+
+def test_process_returns_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+        return "done"
+
+    p = sim.process(proc())
+    result = sim.run(until=p)
+    assert result == "done"
+    assert sim.now == pytest.approx(1.0)
+
+
+def test_process_requires_generator():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Process(sim, lambda: None)  # type: ignore[arg-type]
+
+
+def test_process_receives_event_values():
+    sim = Simulator()
+
+    def proc():
+        value = yield sim.timeout(0.5, value="tick")
+        return value
+
+    assert sim.run(until=sim.process(proc())) == "tick"
+
+
+def test_process_exception_propagates_to_run():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(0.1)
+        raise ValueError("boom")
+
+    with pytest.raises(ValueError, match="boom"):
+        sim.run(until=sim.process(proc()))
+
+
+def test_failed_event_raises_inside_process():
+    sim = Simulator()
+    ev = sim.event()
+
+    def proc():
+        try:
+            yield ev
+        except RuntimeError as exc:
+            return f"caught {exc}"
+
+    p = sim.process(proc())
+    ev.fail(RuntimeError("bad"))
+    assert sim.run(until=p) == "caught bad"
+
+
+def test_yielding_non_event_fails_process():
+    sim = Simulator()
+
+    def proc():
+        yield 42
+
+    with pytest.raises(SimulationError):
+        sim.run(until=sim.process(proc()))
+
+
+def test_processes_can_wait_on_each_other():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(2.0)
+        return 99
+
+    def parent():
+        value = yield sim.process(child())
+        return value + 1
+
+    assert sim.run(until=sim.process(parent())) == 100
+
+
+def test_process_interrupt():
+    sim = Simulator()
+
+    def proc():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as intr:
+            return ("interrupted", intr.cause)
+
+    p = sim.process(proc())
+    sim.call_later(1.0, p.interrupt, "reason")
+    assert sim.run(until=p) == ("interrupted", "reason")
+
+
+def test_all_of_collects_values():
+    sim = Simulator()
+    events = [sim.timeout(i, value=i) for i in (3, 1, 2)]
+    combo = sim.all_of(events)
+    assert sim.run(until=combo) == [3, 1, 2]
+    assert sim.now == pytest.approx(3)
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+    combo = AllOf(sim, [])
+    sim.run()
+    assert combo.triggered and combo.value == []
+
+
+def test_any_of_returns_first():
+    sim = Simulator()
+    events = [sim.timeout(5, value="slow"), sim.timeout(1, value="fast")]
+    idx, value = sim.run(until=sim.any_of(events))
+    assert (idx, value) == (1, "fast")
+    assert sim.now == pytest.approx(1)
+
+
+def test_any_of_requires_events():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        AnyOf(sim, [])
+
+
+def test_run_until_time():
+    sim = Simulator()
+    fired = []
+    sim.call_later(1.0, lambda: fired.append(1))
+    sim.call_later(10.0, lambda: fired.append(2))
+    sim.run(until=5.0)
+    assert fired == [1]
+    assert sim.now == pytest.approx(5.0)
+
+
+def test_run_detects_deadlock():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run(until=ev)
+
+
+def test_max_time_guard():
+    sim = Simulator()
+
+    def forever():
+        while True:
+            yield sim.timeout(1.0)
+
+    sim.process(forever())
+    with pytest.raises(SimulationError, match="max_time"):
+        sim.run(max_time=10.0)
+
+
+def test_stop_interrupts_run():
+    sim = Simulator()
+    sim.call_later(1.0, sim.stop)
+    sim.call_later(100.0, lambda: None)
+    sim.run()
+    assert sim.now == pytest.approx(1.0)
+    assert sim.pending_count() == 1

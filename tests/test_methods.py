@@ -1,0 +1,287 @@
+"""Tests for the alternate communication methods (parallel streams, AdOC, VRP, GSI)."""
+
+import pytest
+
+from tests.helpers import run
+
+from repro.methods import (
+    AdocCodec,
+    AdocVLinkDriver,
+    ParallelStreamsVLinkDriver,
+    SecureVLinkDriver,
+    SiteCredential,
+    VrpVLinkDriver,
+    register_method_drivers,
+)
+
+
+def wan_with_methods(streams=4, vrp_tolerance=0.10):
+    from repro.core import paper_wan_pair
+
+    fw, group = paper_wan_pair()
+    for host in group:
+        register_method_drivers(fw.node(host.name), streams=streams, vrp_tolerance=vrp_tolerance)
+    return fw, group
+
+
+def lossy_with_methods(vrp_tolerance=0.10, loss_rate=0.07):
+    from repro.core import paper_lossy_pair
+
+    fw, group = paper_lossy_pair(loss_rate=loss_rate)
+    for host in group:
+        register_method_drivers(fw.node(host.name), vrp_tolerance=vrp_tolerance)
+    return fw, group
+
+
+def connect_via(fw, group, method, port):
+    n0, n1 = fw.node(group[0].name), fw.node(group[1].name)
+    listener = n1.vlink_listen(port)
+
+    def _connect():
+        accept_op = listener.accept()
+        client = yield n0.vlink_connect(n1, port, method=method)
+        server = yield accept_op
+        return client, server
+
+    return run(fw, _connect(), max_time=300)
+
+
+def bulk_bandwidth(fw, client, server, total, chunk=256 * 1024, max_time=600.0):
+    def _bench():
+        t0 = fw.sim.now
+        sent = 0
+        while sent < total:
+            n = min(chunk, total - sent)
+            client.write(b"x" * n)
+            sent += n
+        data = yield server.read(total)
+        assert len(data) == total
+        return total / (fw.sim.now - t0)
+
+    return run(fw, _bench(), max_time=max_time)
+
+
+def test_register_method_drivers(cluster):
+    fw, group = cluster
+    register_method_drivers(fw.node(group[0].name))
+    names = fw.node(group[0].name).vlink.driver_names()
+    assert {"parallel_streams", "adoc", "vrp", "gsi"}.issubset(set(names))
+
+
+# --------------------------------------------------------------------------
+# Parallel streams
+# --------------------------------------------------------------------------
+
+
+def test_parallel_streams_preserve_stream_content():
+    fw, group = wan_with_methods(streams=3)
+    client, server = connect_via(fw, group, "parallel_streams", 8100)
+    payload = bytes(range(256)) * 64
+
+    def scenario():
+        client.write(payload)
+        client.write(b"tail")
+        data = yield server.read(len(payload) + 4)
+        return data
+
+    assert run(fw, scenario(), max_time=300) == payload + b"tail"
+
+
+def test_parallel_streams_beat_single_stream_on_wan():
+    """§5: VTHD goes from ~9 MB/s (one stream) to ~12 MB/s with parallel streams."""
+    fw, group = wan_with_methods(streams=4)
+    single_client, single_server = connect_via(fw, group, "sysio", 8200)
+    bw_single = bulk_bandwidth(fw, single_client, single_server, 8_000_000)
+
+    fw2, group2 = wan_with_methods(streams=4)
+    multi_client, multi_server = connect_via(fw2, group2, "parallel_streams", 8201)
+    bw_multi = bulk_bandwidth(fw2, multi_client, multi_server, 8_000_000)
+
+    assert bw_multi > bw_single * 1.1
+    assert bw_multi / 1e6 < 12.6  # still capped by the Ethernet-100 access link
+
+
+def test_parallel_streams_driver_validation(cluster):
+    fw, group = cluster
+    with pytest.raises(ValueError):
+        ParallelStreamsVLinkDriver(fw.node(group[0].name).sysio, streams=0)
+
+
+# --------------------------------------------------------------------------
+# AdOC adaptive compression
+# --------------------------------------------------------------------------
+
+
+def test_adoc_codec_adaptivity():
+    codec = AdocCodec()
+    compressible = b"the same text repeated " * 200
+    import os
+
+    incompressible = os.urandom(4096)
+    assert codec.should_compress(compressible)
+    assert not codec.should_compress(incompressible)
+    flags, wire, cpu = codec.encode(compressible)
+    assert flags == 1 and len(wire) < len(compressible) and cpu > 0
+    block, _ = codec.decode(flags, wire, len(compressible))
+    assert block == compressible
+    flags2, wire2, _ = codec.encode(incompressible)
+    assert flags2 == 0 and wire2 == incompressible
+
+
+def test_adoc_transfers_data_and_tracks_ratio():
+    fw, group = wan_with_methods()
+    client, server = connect_via(fw, group, "adoc", 8300)
+    payload = b"ABCD" * 50_000  # highly compressible
+
+    def scenario():
+        client.write(payload)
+        data = yield server.read(len(payload))
+        return data
+
+    assert run(fw, scenario(), max_time=300) == payload
+    assert client.conn.compression_ratio < 0.2
+    assert client.conn.blocks_compressed == client.conn.blocks_sent == 1
+
+
+def test_adoc_speeds_up_compressible_transfers_on_slow_links():
+    total = 2_000_000
+    fw, group = lossy_with_methods(loss_rate=0.0)
+    plain_client, plain_server = connect_via(fw, group, "sysio", 8400)
+    bw_plain = bulk_bandwidth(fw, plain_client, plain_server, total, max_time=1200)
+
+    fw2, group2 = lossy_with_methods(loss_rate=0.0)
+    adoc_client, adoc_server = connect_via(fw2, group2, "adoc", 8401)
+
+    def _bench():
+        t0 = fw2.sim.now
+        adoc_client.write(b"Z" * total)  # maximally compressible
+        data = yield adoc_server.read(total)
+        assert data == b"Z" * total
+        return total / (fw2.sim.now - t0)
+
+    bw_adoc = run(fw2, _bench(), max_time=1200)
+    assert bw_adoc > bw_plain * 2
+
+
+# --------------------------------------------------------------------------
+# VRP
+# --------------------------------------------------------------------------
+
+
+def test_vrp_driver_validation(cluster):
+    fw, group = cluster
+    with pytest.raises(ValueError):
+        VrpVLinkDriver(fw.node(group[0].name).sysio, tolerance=1.5)
+
+
+def test_vrp_delivers_full_length_with_bounded_losses():
+    fw, group = lossy_with_methods(vrp_tolerance=0.10)
+    client, server = connect_via(fw, group, "vrp", 8500)
+    total = 400_000
+
+    def scenario():
+        client.write(b"v" * total)
+        data = yield server.read(total)
+        return data
+
+    data = run(fw, scenario(), max_time=1200)
+    assert len(data) == total
+    stats = server.conn.stats
+    intact = data.count(b"v")
+    assert intact >= total * 0.90           # at most the tolerated 10 % missing
+    assert stats.bytes_zero_filled <= total * 0.10 + 1500
+
+
+def test_vrp_much_faster_than_tcp_on_lossy_link():
+    """§5: TCP ≈ 150 KB/s, VRP(10 %) ≈ 500 KB/s — about 3x."""
+    total = 1_000_000
+    fw, group = lossy_with_methods()
+    tcp_client, tcp_server = connect_via(fw, group, "sysio", 8600)
+    bw_tcp = bulk_bandwidth(fw, tcp_client, tcp_server, total, max_time=3600)
+
+    fw2, group2 = lossy_with_methods()
+    vrp_client, vrp_server = connect_via(fw2, group2, "vrp", 8601)
+
+    def _bench():
+        t0 = fw2.sim.now
+        vrp_client.write(b"x" * total)
+        data = yield vrp_server.read(total)
+        assert len(data) == total
+        return total / (fw2.sim.now - t0)
+
+    bw_vrp = run(fw2, _bench(), max_time=3600)
+    assert bw_vrp > 2.0 * bw_tcp
+    assert 300e3 < bw_vrp < 700e3  # around the paper's 500 KB/s
+    assert 80e3 < bw_tcp < 260e3   # around the paper's 150 KB/s
+
+
+def test_vrp_zero_tolerance_retransmits_to_full_reliability():
+    fw, group = lossy_with_methods(vrp_tolerance=0.0)
+    client, server = connect_via(fw, group, "vrp", 8700)
+    total = 100_000
+
+    def scenario():
+        client.write(b"R" * total)
+        data = yield server.read(total)
+        return data
+
+    data = run(fw, scenario(), max_time=3600)
+    assert data == b"R" * total
+    assert server.conn.stats.bytes_zero_filled == 0
+
+
+# --------------------------------------------------------------------------
+# GSI-style security
+# --------------------------------------------------------------------------
+
+
+def test_secure_driver_roundtrip_and_confidentiality():
+    fw, group = wan_with_methods()
+    client, server = connect_via(fw, group, "gsi", 8800)
+    secret = b"confidential-simulation-state" * 10
+
+    def scenario():
+        client.write(secret)
+        data = yield server.read(len(secret))
+        return data
+
+    assert run(fw, scenario(), max_time=600) == secret
+    # the bytes on the wire are not the plaintext (spot-check the TCP stacks)
+    wire_bytes = sum(c.bytes_sent for c in [client.conn.sock.conn])
+    assert wire_bytes >= len(secret)
+
+
+def test_secure_driver_rejects_unknown_ca():
+    fw, group = wan_with_methods()
+    n0, n1 = fw.node(group[0].name), fw.node(group[1].name)
+    # replace node0's credential with one signed by a different CA
+    rogue = SecureVLinkDriver(n0.sysio, credential=SiteCredential(n0.host.site, secret=b"rogue-ca"))
+    n0.vlink._drivers["gsi"] = rogue
+    listener = n1.vlink_listen(8900)
+
+    def scenario():
+        listener.accept()
+        try:
+            yield n0.vlink_connect(n1, 8900, method="gsi")
+        except Exception as exc:
+            return type(exc).__name__
+        # the server silently drops the unauthenticated connection; the
+        # connect may also simply never complete — treat both as rejection
+        return "no-error"
+
+    # either the connect fails or it never completes (deadlock -> SimulationError)
+    from repro.simnet.engine import SimulationError
+
+    try:
+        result = run(fw, scenario(), max_time=10)
+    except SimulationError:
+        result = "never-established"
+    assert result != "no-error"
+
+
+def test_site_credentials():
+    cred = SiteCredential("rennes")
+    assert cred.verify("rennes", cred.token())
+    assert not cred.verify("grenoble", cred.token())
+    other_ca = SiteCredential("rennes", secret=b"other")
+    assert not cred.verify("rennes", other_ca.token())
