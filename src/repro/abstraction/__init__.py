@@ -21,7 +21,16 @@ plus user preferences.
 
 from repro.abstraction.common import AbstractionError, SoftDelivery, RxPath
 from repro.abstraction.topology import TopologyKB, LinkClass, LinkProfile
-from repro.abstraction.selector import Selector, RouteChoice, Preferences
+from repro.abstraction.routing import (
+    GATEWAY_RELAY_PORT,
+    GATEWAY_RELAY_SERVICE,
+    GatewayRelay,
+    Hop,
+    Route,
+    RouteChoice,
+    RoutingEngine,
+)
+from repro.abstraction.selector import Selector, Preferences
 from repro.abstraction.vlink import (
     VLink,
     VLinkManager,
@@ -60,6 +69,12 @@ __all__ = [
     "LinkProfile",
     "Selector",
     "RouteChoice",
+    "Route",
+    "Hop",
+    "RoutingEngine",
+    "GatewayRelay",
+    "GATEWAY_RELAY_PORT",
+    "GATEWAY_RELAY_SERVICE",
     "Preferences",
     "VLink",
     "VLinkManager",

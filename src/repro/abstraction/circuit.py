@@ -283,7 +283,7 @@ class CircuitManager:
                 link_class = LinkClass.NONE
             return RouteChoice(method=forced, network=network, link_class=link_class, reason="forced")
         if self.selector is not None:
-            return self.selector.choose_circuit(self.host, dst_host, self.adapter_names())
+            return self.selector.choose_circuit_route(self.host, dst_host, self.adapter_names())
         # No selector: prefer madio when registered, else sysio.
         for fallback in ("madio", "sysio", "loopback"):
             if fallback in self._factories:

@@ -79,3 +79,8 @@ CROSS_PARADIGM_STREAM_OVERHEAD = 0.95 * MICROSECOND
 #: Cross-paradigm translation: presenting a group/message interface on top of
 #: a connected byte stream (the Circuit-over-SysIO adapter): framing work.
 CROSS_PARADIGM_FRAMING_OVERHEAD = 0.45 * MICROSECOND
+
+#: Store-and-forward work done by a gateway relay per forwarded chunk
+#: (read-side wakeup + write-side post on the intermediate node); the
+#: per-byte memcpy on the gateway is charged separately against its CPU.
+GATEWAY_FORWARD_OVERHEAD = 1.5 * MICROSECOND

@@ -183,6 +183,7 @@ class MadVLinkConnection:
         self.buffer = StreamBuffer(driver.sim)
         self.closed = False
         self.bytes_sent = 0
+        self._last_ready = 0.0
 
     # -- the driver-connection interface used by VLink -------------------------
     @property
@@ -233,8 +234,12 @@ class MadVLinkConnection:
     def _on_data(self, body: bytes, rx: RxPath) -> None:
         rx.cost.charge(VLINK_LAYER_OVERHEAD, "vlink.layer")
         rx.cost.charge(CROSS_PARADIGM_STREAM_OVERHEAD, "vlink.cross-paradigm")
-        delay = max(0.0, rx.ready_time() - self.sim.now)
-        self.sim.call_later(delay, self.buffer.append, body)
+        # Appends are serialized per connection: a small message's lower
+        # receive-side cost must not let its bytes overtake an earlier large
+        # message's — this is a byte stream, not a message interface.
+        ready = max(rx.ready_time(), self._last_ready)
+        self._last_ready = ready
+        self.sim.call_later(max(0.0, ready - self.sim.now), self.buffer.append, body)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<MadVLinkConnection #{self.conn_id} -> {self.peer_host.name}>"

@@ -1,0 +1,454 @@
+"""The multi-hop routing subsystem of the abstraction layer.
+
+The paper's headline scenario is transparently bridging heterogeneous
+deployments — "clusters on SANs reached across a WAN" (§2.1).  Real grid
+topologies have *front-end gateway* nodes: compute nodes sit on a SAN and a
+private LAN, and only the gateway also holds a WAN interface.  A direct
+common network between two arbitrary hosts therefore often does not exist,
+yet a path through one or more gateways does.
+
+This module turns the :class:`~repro.abstraction.topology.TopologyKB` into a
+weighted host–network graph and runs shortest-path search over it:
+
+* :class:`RoutingEngine` — Dijkstra over hosts, edge weights derived from the
+  first-order transfer-time model of :mod:`repro.simnet.cost` (latency plus
+  a reference payload over the wire bandwidth, a loss penalty, and a
+  store-and-forward penalty per intermediate node so direct links always win
+  ties).  Host paths and adjacency are memoized in a generation-stamped
+  cache invalidated whenever the topology changes.
+* :class:`RouteChoice` — the selector's decision for one hop (historically
+  the whole decision; it now also records which hosts the hop joins).
+* :class:`Route` — an ordered sequence of :class:`RouteChoice` hops from a
+  source to a destination; single-hop routes are exactly what the seed
+  selector produced for directly connected pairs.
+* :class:`GatewayRelay` — the forwarding service booted on every
+  :class:`~repro.core.framework.PadicoNode`: it accepts VLink streams on a
+  reserved port, reads a small relay handshake naming the final destination,
+  opens the next leg through its own VLink manager (which may recursively
+  relay again) and then store-and-forwards bytes between the two rails.
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.simnet.cost import MILLISECOND, latency_bandwidth_time
+from repro.simnet.host import Host
+from repro.simnet.network import Network
+from repro.abstraction.common import AbstractionError, GATEWAY_FORWARD_OVERHEAD
+from repro.abstraction.topology import LinkClass, TopologyKB
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.abstraction.vlink import VLink, VLinkManager
+
+
+#: reserved VLink port every booted node's GatewayRelay listens on.
+GATEWAY_RELAY_PORT = 19909
+
+#: relay handshakes start with this TTL; each relay decrements it, so a
+#: routing loop (or an absurdly long gateway chain) fails cleanly.
+MAX_RELAY_TTL = 8
+
+#: reference payload for edge weights: big enough that bandwidth matters,
+#: small enough that latency still separates a SAN from a LAN.
+ROUTE_WEIGHT_REF_BYTES = 64 * 1024
+
+#: extra weight per intermediate node: a gateway costs store-and-forward
+#: work, and ties between a direct link and a two-hop path must go direct.
+ROUTE_RELAY_PENALTY = 1.0 * MILLISECOND
+
+
+@dataclass
+class RouteChoice:
+    """The selector's decision for one hop of a route."""
+
+    #: adapter / driver name to use ("madio", "sysio", "loopback",
+    #: "parallel_streams", "adoc", "vrp", ...)
+    method: str
+    #: network the adapter should run on (None for loopback).
+    network: Optional[Network]
+    #: link class that drove the decision.
+    link_class: LinkClass
+    #: True when the chosen adapter translates between paradigms.
+    cross_paradigm: bool = False
+    #: Human-readable explanation (surfaced by the framework status report).
+    reason: str = ""
+    #: hosts this hop joins (None on legacy single-hop construction sites).
+    src: Optional[Host] = None
+    dst: Optional[Host] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        x = " cross" if self.cross_paradigm else ""
+        return f"<RouteChoice {self.method} on {self.network.name if self.network else 'local'}{x}>"
+
+
+@dataclass
+class Hop:
+    """One edge of a host path: ``src`` reaches ``dst`` over ``network``."""
+
+    src: Host
+    dst: Host
+    network: Network
+    weight: float
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Hop {self.src.name}->{self.dst.name} via {self.network.name}>"
+
+
+@dataclass
+class Route:
+    """An end-to-end path: an ordered sequence of per-hop choices."""
+
+    src: Host
+    dst: Host
+    hops: List[RouteChoice] = field(default_factory=list)
+
+    @property
+    def is_direct(self) -> bool:
+        return len(self.hops) <= 1
+
+    @property
+    def first(self) -> RouteChoice:
+        return self.hops[0]
+
+    def gateways(self) -> List[Host]:
+        """The intermediate hosts traffic is relayed through."""
+        return [hop.dst for hop in self.hops[:-1]]
+
+    def describe(self) -> str:
+        parts = [self.src.name]
+        for hop in self.hops:
+            net = hop.network.name if hop.network is not None else "local"
+            parts.append(f"-[{hop.method}/{net}]-> {hop.dst.name if hop.dst else '?'}")
+        return " ".join(parts)
+
+    def __len__(self) -> int:
+        return len(self.hops)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Route {self.describe()}>"
+
+
+class RoutingEngine:
+    """Shortest-path search over the host–network graph of a TopologyKB.
+
+    All query results (adjacency, host paths) are memoized and stamped with
+    :attr:`TopologyKB.generation`; registering a host or a network — or
+    attaching a NIC anywhere in the simulation — invalidates them.
+    """
+
+    def __init__(self, topology: TopologyKB):
+        self.topology = topology
+        self._adjacency: Optional[Dict[Host, List[Tuple[float, Host, Network]]]] = None
+        self._adjacency_generation = -1
+        self._path_cache: Dict[Tuple[int, int], Tuple[int, List[Hop]]] = {}
+
+    # -- edge weights ----------------------------------------------------------
+    @staticmethod
+    def edge_weight(network: Network) -> float:
+        """First-order cost of moving a reference payload over ``network``.
+
+        Latency + payload/bandwidth, inflated by the loss rate (a lossy WAN
+        triggers TCP backoff well beyond its nominal parameters).
+        """
+        base = latency_bandwidth_time(
+            ROUTE_WEIGHT_REF_BYTES, network.latency, network.bandwidth
+        )
+        return base * (1.0 + 10.0 * network.loss_rate)
+
+    # -- graph construction -----------------------------------------------------
+    def _graph(self) -> Dict[Host, List[Tuple[float, Host, Network]]]:
+        generation = self.topology.generation
+        if self._adjacency is not None and self._adjacency_generation == generation:
+            return self._adjacency
+        adjacency: Dict[Host, List[Tuple[float, Host, Network]]] = {}
+        for network in self.topology.networks():
+            members = network.hosts()
+            if len(members) < 2:
+                continue
+            weight = self.edge_weight(network)
+            for a in members:
+                edges = adjacency.setdefault(a, [])
+                for b in members:
+                    if b is not a:
+                        edges.append((weight, b, network))
+        for host in self.topology.hosts():
+            adjacency.setdefault(host, [])
+        self._adjacency = adjacency
+        self._adjacency_generation = generation
+        self._path_cache.clear()
+        return adjacency
+
+    # -- queries -----------------------------------------------------------------
+    def host_path(self, src: Host, dst: Host) -> List[Hop]:
+        """Cheapest hop sequence from ``src`` to ``dst`` (Dijkstra).
+
+        Returns a single hop for directly connected pairs, an empty list for
+        ``src is dst``, and raises :class:`AbstractionError` when the graph
+        holds no path at all.
+        """
+        if src is dst:
+            return []
+        generation = self.topology.generation
+        key = (id(src), id(dst))
+        cached = self._path_cache.get(key)
+        if cached is not None and cached[0] == generation:
+            return cached[1]
+        hops = self._dijkstra(src, dst)
+        self._path_cache[key] = (generation, hops)
+        return hops
+
+    def reachable(self, src: Host, dst: Host) -> bool:
+        try:
+            self.host_path(src, dst)
+            return True
+        except AbstractionError:
+            return False
+
+    def gateways_between(self, src: Host, dst: Host) -> List[Host]:
+        """The intermediate hosts on the cheapest src->dst path."""
+        return [hop.dst for hop in self.host_path(src, dst)[:-1]]
+
+    def describe(self) -> Dict[str, object]:
+        graph = self._graph()
+        return {
+            "generation": self.topology.generation,
+            "hosts": len(graph),
+            "edges": sum(len(v) for v in graph.values()),
+            "cached_paths": len(self._path_cache),
+        }
+
+    # -- internals ----------------------------------------------------------------
+    def _dijkstra(self, src: Host, dst: Host) -> List[Hop]:
+        graph = self._graph()
+        if src not in graph or dst not in graph:
+            raise AbstractionError(
+                f"no route between {src.name} and {dst.name}: "
+                f"host not part of the registered topology"
+            )
+        dist: Dict[Host, float] = {src: 0.0}
+        prev: Dict[Host, Tuple[Host, Network, float]] = {}
+        visited: set = set()
+        counter = 0  # tie-breaker: hosts are not orderable
+        queue: List[Tuple[float, int, Host]] = [(0.0, counter, src)]
+        while queue:
+            d, _, here = heapq.heappop(queue)
+            if here in visited:
+                continue
+            if here is dst:
+                break
+            visited.add(here)
+            for weight, neighbour, network in graph[here]:
+                if neighbour in visited:
+                    continue
+                cost = d + weight
+                if neighbour is not dst:
+                    cost += ROUTE_RELAY_PENALTY
+                if cost < dist.get(neighbour, float("inf")):
+                    dist[neighbour] = cost
+                    prev[neighbour] = (here, network, weight)
+                    counter += 1
+                    heapq.heappush(queue, (cost, counter, neighbour))
+        if dst not in prev:
+            raise AbstractionError(
+                f"no route between {src.name} and {dst.name}: "
+                f"no chain of common networks connects them"
+            )
+        hops: List[Hop] = []
+        here = dst
+        while here is not src:
+            earlier, network, weight = prev[here]
+            hops.append(Hop(earlier, here, network, weight))
+            here = earlier
+        hops.reverse()
+        return hops
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RoutingEngine over {self.topology!r}>"
+
+
+# ---------------------------------------------------------------------------
+# The gateway relay: store-and-forward between two VLink rails
+# ---------------------------------------------------------------------------
+
+#: relay handshake: magic, final port, TTL, destination-name length.
+_RELAY_HELLO = struct.Struct("!4sHBH")
+_RELAY_MAGIC = b"PRLY"
+_RELAY_OK = b"\x01"
+_RELAY_FAIL = b"\x00"
+
+GATEWAY_RELAY_SERVICE = "gateway-relay"
+
+
+def pack_relay_hello(dst_name: str, port: int, ttl: int) -> bytes:
+    """The client side of the relay handshake."""
+    name = dst_name.encode("utf-8")
+    return _RELAY_HELLO.pack(_RELAY_MAGIC, port, ttl, len(name)) + name
+
+
+class _RelaySession:
+    """One upstream stream being handshaken and then spliced downstream."""
+
+    def __init__(self, relay: "GatewayRelay", upstream: "VLink"):
+        self.relay = relay
+        self.sim = relay.sim
+        self.upstream = upstream
+        self.downstream: Optional["VLink"] = None
+        self.buffer = bytearray()
+        self.header: Optional[Tuple[int, int, int]] = None  # port, ttl, name_len
+        self.failed = False
+        # per-direction cursor serializing forwarded writes: a small chunk's
+        # shorter copy delay must never let it overtake an earlier large one.
+        self._next_write_at: Dict[int, float] = {}
+        upstream.set_data_handler(lambda _link: self._on_upstream_data())
+        self._on_upstream_data()
+
+    # -- handshake phase -------------------------------------------------------
+    def _on_upstream_data(self) -> None:
+        if self.failed:
+            self.upstream.read_available()
+            return
+        self.buffer += self.upstream.read_available()
+        if self.header is None:
+            if len(self.buffer) < _RELAY_HELLO.size:
+                return
+            magic, port, ttl, name_len = _RELAY_HELLO.unpack_from(self.buffer, 0)
+            if magic != _RELAY_MAGIC:
+                self._refuse("relay: bad handshake magic")
+                return
+            self.header = (port, ttl, name_len)
+        port, ttl, name_len = self.header
+        if len(self.buffer) < _RELAY_HELLO.size + name_len:
+            return
+        dst_name = bytes(
+            self.buffer[_RELAY_HELLO.size : _RELAY_HELLO.size + name_len]
+        ).decode("utf-8")
+        del self.buffer[: _RELAY_HELLO.size + name_len]
+        # handshake complete: keep buffering payload while the next leg opens
+        self.upstream.set_data_handler(lambda _link: self._buffer_early_payload())
+        self._open_downstream(dst_name, port, ttl)
+
+    def _buffer_early_payload(self) -> None:
+        self.buffer += self.upstream.read_available()
+
+    def _open_downstream(self, dst_name: str, port: int, ttl: int) -> None:
+        if ttl <= 0:
+            self._refuse(f"relay TTL exhausted towards {dst_name!r}")
+            return
+        topology = self.relay.topology
+        try:
+            dst_host = topology.host_by_name(dst_name)
+        except LookupError:
+            self._refuse(f"relay: unknown destination host {dst_name!r}")
+            return
+        try:
+            attempt = self.relay.manager.connect(dst_host, port, relay_ttl=ttl - 1)
+        except AbstractionError as exc:
+            self._refuse(str(exc))
+            return
+        attempt.add_callback(self._on_downstream)
+
+    def _on_downstream(self, ev) -> None:
+        if not ev.ok:
+            self._refuse(f"relay: next leg failed: {ev.value!r}")
+            return
+        self.downstream = ev.value
+        self.relay.relayed += 1
+        self.upstream.write(_RELAY_OK)
+        if self.buffer:
+            early, self.buffer = bytes(self.buffer), bytearray()
+            self._forward(self.downstream, early)
+        self.upstream.set_data_handler(
+            lambda _link: self._pump(self.upstream, self.downstream)
+        )
+        self.downstream.set_data_handler(
+            lambda _link: self._pump(self.downstream, self.upstream)
+        )
+
+    def _refuse(self, reason: str) -> None:
+        self.failed = True
+        self.buffer.clear()
+        self.relay.refused += 1
+        self.relay.last_error = reason
+        self.upstream.write(_RELAY_FAIL)
+
+    # -- splice phase -----------------------------------------------------------
+    def _pump(self, src_link: "VLink", dst_link: "VLink") -> None:
+        data = src_link.read_available()
+        if data:
+            self._forward(dst_link, data)
+
+    def _forward(self, dst_link: "VLink", data: bytes) -> None:
+        """Store-and-forward one chunk, charging the gateway's CPU for it.
+
+        Writes towards one leg are serialized: each chunk fires no earlier
+        than the previous one (same-time events are FIFO in the simulator),
+        so in-order byte-stream semantics survive the relay.
+        """
+        self.relay.bytes_forwarded += len(data)
+        delay = GATEWAY_FORWARD_OVERHEAD + self.relay.host.cpu.copy_time(len(data))
+        ready = max(self.sim.now + delay, self._next_write_at.get(id(dst_link), 0.0))
+        self._next_write_at[id(dst_link)] = ready
+        self.sim.call_later(ready - self.sim.now, self._write_out, dst_link, data)
+
+    @staticmethod
+    def _write_out(dst_link: "VLink", data: bytes) -> None:
+        from repro.abstraction.vlink import VLinkState
+
+        if dst_link.state is VLinkState.ESTABLISHED:
+            dst_link.write(data)
+
+
+class GatewayRelay:
+    """Per-node store-and-forward service between VLink rails.
+
+    Booted on every :class:`~repro.core.framework.PadicoNode`; a node whose
+    host sits on several networks thereby becomes a usable gateway.  Clients
+    connect to :data:`GATEWAY_RELAY_PORT`, send a :func:`pack_relay_hello`
+    naming the final destination, and — once the relay's own VLink manager
+    has opened the next leg (possibly relaying again, recursively) — receive
+    a one-byte acknowledgement after which the stream is spliced end to end.
+    """
+
+    def __init__(self, manager: "VLinkManager", port: int = GATEWAY_RELAY_PORT):
+        self.manager = manager
+        self.host = manager.host
+        self.sim = manager.sim
+        self.port = port
+        self.relayed = 0
+        self.refused = 0
+        self.bytes_forwarded = 0
+        self.last_error = ""
+        self._sessions: List[_RelaySession] = []
+        listener = manager.listen(port)
+        listener.set_accept_callback(self._on_upstream)
+        self.host.register_service(GATEWAY_RELAY_SERVICE, self, replace=True)
+
+    @property
+    def topology(self) -> TopologyKB:
+        selector = self.manager.selector
+        if selector is None:
+            raise AbstractionError(
+                f"gateway relay on {self.host.name} has no selector/topology"
+            )
+        return selector.topology
+
+    def _on_upstream(self, link: "VLink") -> None:
+        self._sessions.append(_RelaySession(self, link))
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "relayed": self.relayed,
+            "refused": self.refused,
+            "bytes_forwarded": self.bytes_forwarded,
+            "sessions": len(self._sessions),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<GatewayRelay on {self.host.name}:{self.port} "
+            f"relayed={self.relayed} bytes={self.bytes_forwarded}>"
+        )

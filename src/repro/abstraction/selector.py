@@ -34,27 +34,9 @@ from repro.simnet.host import Host
 from repro.simnet.network import Network
 from repro.abstraction.common import AbstractionError
 from repro.abstraction.topology import LinkClass, LinkProfile, TopologyKB
+from repro.abstraction.routing import Route, RouteChoice, RoutingEngine
 
-
-@dataclass
-class RouteChoice:
-    """The selector's decision for one (src, dst) pair."""
-
-    #: adapter / driver name to use ("madio", "sysio", "loopback",
-    #: "parallel_streams", "adoc", "vrp", ...)
-    method: str
-    #: network the adapter should run on (None for loopback).
-    network: Optional[Network]
-    #: link class that drove the decision.
-    link_class: LinkClass
-    #: True when the chosen adapter translates between paradigms.
-    cross_paradigm: bool = False
-    #: Human-readable explanation (surfaced by the framework status report).
-    reason: str = ""
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        x = " cross" if self.cross_paradigm else ""
-        return f"<RouteChoice {self.method} on {self.network.name if self.network else 'local'}{x}>"
+__all__ = ["Selector", "Preferences", "Route", "RouteChoice"]
 
 
 @dataclass
@@ -94,19 +76,32 @@ _DEFAULT_CIRCUIT = {
     LinkClass.LAN: ["sysio"],
     LinkClass.WAN: ["vlink:parallel_streams", "sysio"],
     LinkClass.LOSSY_WAN: ["vlink:vrp", "sysio"],
+    # pairs with no common network but a gateway route: ride routed VLinks.
+    LinkClass.ROUTED: ["vlink"],
 }
 
 #: methods that translate between paradigms when used for each interface.
 _CROSS_PARADIGM_VLINK = {"madio", "loopback"}
-_CROSS_PARADIGM_CIRCUIT = {"sysio", "vlink:parallel_streams", "vlink:vrp", "vlink:adoc"}
+_CROSS_PARADIGM_CIRCUIT = {"sysio", "vlink", "vlink:parallel_streams", "vlink:vrp", "vlink:adoc"}
 
 
 class Selector:
-    """Chooses adapters/methods per link from the topology KB and preferences."""
+    """Chooses adapters/methods per link from the topology KB and preferences.
 
-    def __init__(self, topology: TopologyKB, preferences: Optional[Preferences] = None):
+    Directly connected pairs keep the seed policy table above; pairs with no
+    common network are resolved through the :class:`RoutingEngine` into
+    multi-hop :class:`Route` objects relayed by gateways.
+    """
+
+    def __init__(
+        self,
+        topology: TopologyKB,
+        preferences: Optional[Preferences] = None,
+        routing: Optional[RoutingEngine] = None,
+    ):
         self.topology = topology
         self.preferences = preferences or Preferences()
+        self.routing = routing or RoutingEngine(topology)
 
     # -- generic machinery -------------------------------------------------------
     def _candidates(
@@ -144,6 +139,8 @@ class Selector:
                         f"{interface} on {profile.link_class.value} link "
                         f"{src.name}->{dst.name}: picked {method!r} from {candidates}"
                     ),
+                    src=src,
+                    dst=dst,
                 )
         raise AbstractionError(
             f"no available {interface} method for {profile.link_class.value} link "
@@ -188,6 +185,70 @@ class Selector:
             _CROSS_PARADIGM_CIRCUIT,
             "Circuit",
         )
+
+    # -- route-level API -----------------------------------------------------------
+    def choose_vlink_route(self, src: Host, dst: Host, available: List[str]) -> Route:
+        """The full VLink path decision: one hop for directly connected pairs
+        (identical to :meth:`choose_vlink`), a multi-hop gateway route when no
+        common network exists, an :class:`AbstractionError` when there is no
+        path at all."""
+        profile = self.topology.link_profile(src, dst)
+        if profile.link_class is not LinkClass.NONE:
+            return Route(src, dst, [self.choose_vlink(src, dst, available)])
+        hops = self.routing.host_path(src, dst)
+        choices: List[RouteChoice] = []
+        for index, hop in enumerate(hops):
+            hop_available = available if index == 0 else self.vlink_methods_on(hop.src)
+            choices.append(
+                self._pick(
+                    hop.src,
+                    hop.dst,
+                    hop_available,
+                    _DEFAULT_VLINK,
+                    self.preferences.vlink_methods,
+                    _CROSS_PARADIGM_VLINK,
+                    "VLink",
+                )
+            )
+        return Route(src, dst, choices)
+
+    def choose_circuit_route(self, src: Host, dst: Host, available: List[str]) -> RouteChoice:
+        """Like :meth:`choose_circuit`, but pairs with no common network fall
+        back to the routed VLink adapter when a gateway path exists."""
+        profile = self.topology.link_profile(src, dst)
+        if profile.link_class is not LinkClass.NONE:
+            return self.choose_circuit(src, dst, available)
+        hops = self.routing.host_path(src, dst)  # raises when unreachable
+        candidates = self._candidates(
+            LinkClass.ROUTED, _DEFAULT_CIRCUIT, self.preferences.circuit_methods
+        )
+        for method in candidates:
+            if method in available:
+                via = "->".join(h.dst.name for h in hops[:-1])
+                return RouteChoice(
+                    method=method,
+                    network=None,
+                    link_class=LinkClass.ROUTED,
+                    cross_paradigm=method in _CROSS_PARADIGM_CIRCUIT,
+                    reason=(
+                        f"Circuit on routed link {src.name}->{dst.name} "
+                        f"via {via}: picked {method!r} from {candidates}"
+                    ),
+                    src=src,
+                    dst=dst,
+                )
+        raise AbstractionError(
+            f"no available Circuit method for routed link {src.name}->{dst.name}; "
+            f"candidates={candidates}, available={sorted(available)}"
+        )
+
+    def vlink_methods_on(self, host: Host) -> List[str]:
+        """Driver names on an intermediate host (the gateway re-picks at
+        forward time anyway; unbooted gateways assume the stock drivers)."""
+        manager = host.get_service("vlink")
+        if manager is not None:
+            return manager.driver_names()
+        return ["loopback", "madio", "sysio"]
 
     def needs_security(self, src: Host, dst: Host) -> bool:
         """True when the preferences require ciphering for this link

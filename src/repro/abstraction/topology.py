@@ -29,6 +29,7 @@ class LinkClass(enum.Enum):
     LAN = "lan"              # local IP network
     WAN = "wan"              # long-distance IP network, low loss
     LOSSY_WAN = "lossy_wan"  # long-distance IP network with significant loss
+    ROUTED = "routed"        # no common network, but a multi-hop gateway route
     NONE = "none"            # no common network
 
 
@@ -65,21 +66,51 @@ class LinkProfile:
 
 
 class TopologyKB:
-    """Registry of hosts and networks plus link classification."""
+    """Registry of hosts and networks plus link classification.
+
+    Queries are memoized in a *generation-stamped* cache: every registration
+    (and every NIC attachment anywhere in the simulation) bumps the
+    :attr:`generation`, and cached :class:`LinkProfile` objects from an older
+    generation are recomputed on the next lookup.  The
+    :class:`~repro.abstraction.routing.RoutingEngine` stamps its own caches
+    with the same counter.
+    """
 
     def __init__(self) -> None:
         self._networks: List[Network] = []
         self._hosts: List[Host] = []
+        self._hosts_by_name: Dict[str, Host] = {}
+        self._generation = 0
+        self._sim = None
+        self._profile_cache: Dict[Tuple[int, int], Tuple[int, LinkProfile]] = {}
+
+    # -- generation stamping ---------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """Monotonic topology version; caches stamped with an older value are
+        stale.  Combines local registrations with the simulator-wide NIC
+        attachment epoch so late ``network.connect(host)`` calls are seen."""
+        epoch = getattr(self._sim, "topology_epoch", 0) if self._sim is not None else 0
+        return self._generation + epoch
+
+    def invalidate(self) -> None:
+        """Explicitly flush every generation-stamped cache."""
+        self._generation += 1
 
     # -- registration ---------------------------------------------------------
     def register_network(self, network: Network) -> Network:
         if network not in self._networks:
             self._networks.append(network)
+            self._sim = self._sim or network.sim
+            self._generation += 1
         return network
 
     def register_host(self, host: Host) -> Host:
         if host not in self._hosts:
             self._hosts.append(host)
+            self._hosts_by_name.setdefault(host.name, host)
+            self._sim = self._sim or host.sim
+            self._generation += 1
         return host
 
     def networks(self) -> List[Network]:
@@ -89,10 +120,10 @@ class TopologyKB:
         return list(self._hosts)
 
     def host_by_name(self, name: str) -> Host:
-        for host in self._hosts:
-            if host.name == name:
-                return host
-        raise LookupError(f"unknown host {name!r}")
+        try:
+            return self._hosts_by_name[name]
+        except KeyError:
+            raise LookupError(f"unknown host {name!r}") from None
 
     # -- queries -------------------------------------------------------------------
     def networks_between(self, a: Host, b: Host) -> List[Network]:
@@ -121,7 +152,21 @@ class TopologyKB:
         )[0]
 
     def link_profile(self, a: Host, b: Host) -> LinkProfile:
-        """Full profile of the (a, b) path used by the selector."""
+        """Full profile of the (a, b) path used by the selector.
+
+        Memoized per host pair: the selector used to rescan every registered
+        network on every call, an O(#networks) walk on the connect hot path.
+        """
+        key = (id(a), id(b))
+        generation = self.generation
+        cached = self._profile_cache.get(key)
+        if cached is not None and cached[0] == generation:
+            return cached[1]
+        profile = self._compute_link_profile(a, b)
+        self._profile_cache[key] = (generation, profile)
+        return profile
+
+    def _compute_link_profile(self, a: Host, b: Host) -> LinkProfile:
         networks = self.networks_between(a, b)
         cross_site = a.site != b.site
         if a is b:

@@ -32,7 +32,15 @@ from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 from repro.simnet.engine import SimEvent
 from repro.simnet.host import Host
 from repro.abstraction.common import AbstractionError, VLINK_LAYER_OVERHEAD
-from repro.abstraction.selector import RouteChoice, Selector
+from repro.abstraction.routing import (
+    GATEWAY_RELAY_PORT,
+    GATEWAY_RELAY_SERVICE,
+    MAX_RELAY_TTL,
+    Route,
+    RouteChoice,
+    pack_relay_hello,
+)
+from repro.abstraction.selector import Selector
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.abstraction.drivers import VLinkDriver
@@ -76,7 +84,7 @@ class VLinkOperation(SimEvent):
 class VLink:
     """A VLink descriptor: one established (or in-progress) connection."""
 
-    def __init__(self, manager: "VLinkManager", driver_name: str, conn, route: Optional[RouteChoice] = None):
+    def __init__(self, manager: "VLinkManager", driver_name: str, conn, route: "Optional[RouteChoice | Route]" = None):
         self.manager = manager
         self.sim = manager.sim
         self.driver_name = driver_name
@@ -249,26 +257,41 @@ class VLinkManager:
         return listener
 
     # -- client side -----------------------------------------------------------------
-    def connect(self, dst_host: Host, port: int, method: Optional[str] = None) -> VLinkOperation:
+    def connect(
+        self,
+        dst_host: Host,
+        port: int,
+        method: Optional[str] = None,
+        relay_ttl: int = MAX_RELAY_TTL,
+    ) -> VLinkOperation:
         """Post a connect to ``dst_host:port``.
 
         The driver is chosen by (in decreasing priority) the explicit
-        ``method`` argument, the selector's policy for the link, or — with
-        neither available — a plain preference for straight drivers.
+        ``method`` argument, the selector's route for the link, or — with
+        neither available — a plain preference for straight drivers.  When
+        the selector returns a multi-hop route, the connection is opened to
+        the first gateway's relay service, which store-and-forwards towards
+        the destination (``relay_ttl`` bounds the remaining chain length).
         """
         op = VLinkOperation(self.sim, "connect")
-        route: Optional[RouteChoice] = None
+        route: Optional[RouteChoice | Route] = None
         if method is None:
             if self.selector is not None:
-                route = self.selector.choose_vlink(self.host, dst_host, self.driver_names())
+                full_route = self.selector.choose_vlink_route(
+                    self.host, dst_host, self.driver_names()
+                )
+                if not full_route.is_direct:
+                    self._connect_via_relay(full_route, dst_host, port, relay_ttl, op)
+                    return op
+                route = full_route.first
                 method = route.method
             else:
                 method = self._fallback_method(dst_host)
-        driver = self.driver(method)
+        driver = self.resolve_driver(method, dst_host)
 
         def _connected(ev):
             if ev.ok:
-                link = VLink(self, method, ev.value, route)
+                link = VLink(self, driver.name, ev.value, route)
                 if not op.triggered:
                     op.succeed(link)
             elif not op.triggered:
@@ -276,6 +299,73 @@ class VLinkManager:
 
         driver.connect(dst_host, port).add_callback(_connected)
         return op
+
+    def _connect_via_relay(
+        self,
+        route: Route,
+        dst_host: Host,
+        port: int,
+        relay_ttl: int,
+        op: VLinkOperation,
+    ) -> None:
+        """Open the first leg to a gateway relay and handshake the rest."""
+        first = route.first
+        gateway = first.dst
+        if not gateway.has_service(GATEWAY_RELAY_SERVICE):
+            op.fail(
+                AbstractionError(
+                    f"route {route.describe()} needs gateway {gateway.name!r}, "
+                    f"but no relay runs there; boot it first "
+                    f"(PadicoFramework.boot() starts one on every node)"
+                )
+            )
+            return
+        driver = self.resolve_driver(first.method, gateway)
+        hello = pack_relay_hello(dst_host.name, port, relay_ttl)
+
+        def _leg_open(ev):
+            if not ev.ok:
+                if not op.triggered:
+                    op.fail(ev.value)
+                return
+            conn = ev.value
+            conn.write(hello)
+
+            def _acked(ack_ev):
+                if op.triggered:
+                    return
+                if ack_ev.ok and ack_ev.value == b"\x01":
+                    op.succeed(VLink(self, driver.name, conn, route))
+                else:
+                    relay = gateway.get_service(GATEWAY_RELAY_SERVICE)
+                    detail = getattr(relay, "last_error", "") or "relay refused"
+                    op.fail(
+                        ConnectionRefusedError(
+                            f"gateway {gateway.name} could not reach "
+                            f"{dst_host.name}:{port}: {detail}"
+                        )
+                    )
+
+            conn.recv_exact(1).add_callback(_acked)
+
+        driver.connect(gateway, GATEWAY_RELAY_PORT).add_callback(_leg_open)
+
+    def resolve_driver(self, method: str, dst_host: Host) -> "VLinkDriver":
+        """The driver for ``method`` that actually reaches ``dst_host``.
+
+        Multi-rail hosts register one driver per SAN ("madio" for the primary
+        rail, "madio:<network>" for the others); when the policy names the
+        bare method but the primary rail does not reach the destination, the
+        matching secondary-rail driver is substituted.
+        """
+        driver = self.driver(method)
+        if driver.reaches(dst_host):
+            return driver
+        prefix = f"{method}:"
+        for name in sorted(self._drivers):
+            if name.startswith(prefix) and self._drivers[name].reaches(dst_host):
+                return self._drivers[name]
+        return driver
 
     def _fallback_method(self, dst_host: Host) -> str:
         order = ["loopback"] if dst_host is self.host else []

@@ -21,11 +21,15 @@ from repro.arbitration import MadIO, NetAccessCore, SysIO
 from repro.abstraction import (
     Circuit,
     CircuitManager,
+    GATEWAY_RELAY_SERVICE,
+    GatewayRelay,
     LoopbackCircuitAdapter,
     LoopbackVLinkDriver,
     MadIOCircuitAdapter,
     MadIOVLinkDriver,
     Preferences,
+    Route,
+    RoutingEngine,
     Selector,
     SysIOCircuitAdapter,
     SysIOVLinkDriver,
@@ -33,6 +37,7 @@ from repro.abstraction import (
     VLinkCircuitAdapter,
     VLinkManager,
 )
+from repro.abstraction.common import AbstractionError
 
 
 class FrameworkError(RuntimeError):
@@ -53,6 +58,7 @@ class PadicoNode:
         self.tcp: Optional[TcpStack] = None
         self.vlink: Optional[VLinkManager] = None
         self.circuits: Optional[CircuitManager] = None
+        self.gateway_relay: Optional[GatewayRelay] = None
         self._booted = False
         self._middleware: Dict[str, object] = {}
 
@@ -82,14 +88,21 @@ class PadicoNode:
                 group = self.framework.san_group(network)
                 self.madio.attach(network, group)
 
-        # Abstraction layer: VLink manager with its drivers.
+        # Abstraction layer: VLink manager with its drivers.  Multi-rail
+        # hosts get one MadIO driver per SAN: the fastest rail keeps the
+        # policy name "madio", the others register as "madio:<network>" and
+        # are substituted by VLinkManager.resolve_driver when the primary
+        # rail does not reach the destination.
         self.vlink = VLinkManager(host, selector)
         if self.sysio is not None:
             self.vlink.register_driver(SysIOVLinkDriver(self.sysio))
         if self.madio is not None:
-            for network in san_networks:
-                self.vlink.register_driver(MadIOVLinkDriver(self.madio, network))
-                break  # one madio VLink driver (first/fastest SAN)
+            ranked = sorted(san_networks, key=lambda n: (-n.bandwidth, n.latency))
+            for index, network in enumerate(ranked):
+                driver = MadIOVLinkDriver(self.madio, network)
+                if index > 0:
+                    driver.name = f"madio:{network.name}"
+                self.vlink.register_driver(driver)
         self.vlink.register_driver(LoopbackVLinkDriver(host))
 
         # Abstraction layer: Circuit manager with its adapter factories.
@@ -111,6 +124,16 @@ class PadicoNode:
                     circuit, route, self.vlink, method=m
                 ),
             )
+        # Routed circuit links (no common network) ride plain VLinks and let
+        # the VLink manager's own route pick the gateway chain.
+        self.circuits.register_adapter_factory(
+            "vlink", lambda circuit, route: VLinkCircuitAdapter(circuit, route, self.vlink)
+        )
+
+        # Gateway relay: every booted node can store-and-forward VLink
+        # traffic between its rails, making multi-homed hosts usable as
+        # gateways for hosts without a common network.
+        self.gateway_relay = GatewayRelay(self.vlink)
         self._booted = True
         return self
 
@@ -122,6 +145,11 @@ class PadicoNode:
     def circuit(self, name: str, group: HostGroup, **kwargs) -> Circuit:
         """Create (or fetch) the local endpoint of a named circuit."""
         self._require_boot()
+        # Routed group links relay through gateways; boot them on demand,
+        # exactly like the VLink connect path does.
+        for member in group:
+            if member is not self.host:
+                self.framework.ensure_gateways(self.host, member)
         return self.circuits.create(name, group, **kwargs)
 
     def vlink_listen(self, port: int):
@@ -131,6 +159,10 @@ class PadicoNode:
     def vlink_connect(self, dst: "PadicoNode | Host", port: int, method: Optional[str] = None):
         self._require_boot()
         dst_host = dst.host if isinstance(dst, PadicoNode) else dst
+        if method is None:
+            # Routed connects need a relay on every intermediate host; the
+            # framework picks the gateways and boots them on demand.
+            self.framework.ensure_gateways(self.host, dst_host)
         return self.vlink.connect(dst_host, port, method=method)
 
     # -- middleware registry (per node) --------------------------------------------------
@@ -166,7 +198,8 @@ class PadicoFramework:
         self.sim = Simulator()
         self.topology = TopologyKB()
         self.preferences = preferences or Preferences()
-        self.selector = Selector(self.topology, self.preferences)
+        self.routing = RoutingEngine(self.topology)
+        self.selector = Selector(self.topology, self.preferences, routing=self.routing)
         self._hosts: Dict[str, Host] = {}
         self._nodes: Dict[str, PadicoNode] = {}
         self._networks: Dict[str, Network] = {}
@@ -261,6 +294,27 @@ class PadicoFramework:
         self._booted = True
         return nodes
 
+    # -- routing ---------------------------------------------------------------------------
+    def route_between(self, a: "Host | str", b: "Host | str") -> Route:
+        """The VLink route the selector would use between two hosts."""
+        host_a = self.host(a) if isinstance(a, str) else a
+        host_b = self.host(b) if isinstance(b, str) else b
+        available = self.selector.vlink_methods_on(host_a)
+        return self.selector.choose_vlink_route(host_a, host_b, available)
+
+    def ensure_gateways(self, src: Host, dst: Host) -> List[PadicoNode]:
+        """Boot the relay nodes on the src->dst route (no-op for direct links
+        or unreachable pairs — the connect path reports those itself)."""
+        try:
+            gateways = self.routing.gateways_between(src, dst)
+        except AbstractionError:
+            return []
+        booted = []
+        for gateway in gateways:
+            if gateway.name in self._hosts and not gateway.has_service(GATEWAY_RELAY_SERVICE):
+                booted.extend(self.boot([gateway.name]))
+        return booted
+
     def node(self, name: str) -> PadicoNode:
         try:
             return self._nodes[name]
@@ -288,6 +342,7 @@ class PadicoFramework:
             "networks": self.topology.describe()["networks"],
             "booted_nodes": sorted(self._nodes),
             "adjacency": {f"{a}--{b}": c for (a, b), c in self.topology.adjacency().items()},
+            "routing": self.routing.describe(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -71,6 +71,9 @@ class Host:
         if nic.network in self.nics:
             raise ValueError(f"host {self.name!r} already attached to network {nic.network.name!r}")
         self.nics[nic.network] = nic
+        # Bump the simulator-wide topology epoch so generation-stamped caches
+        # (TopologyKB link profiles, RoutingEngine routes) see late attachments.
+        self.sim.topology_epoch = getattr(self.sim, "topology_epoch", 0) + 1
 
     def nic_for(self, network: "Network") -> "Nic":
         """The NIC of this host on ``network`` (KeyError if not attached)."""
