@@ -20,7 +20,7 @@ plus user preferences.
 """
 
 from repro.abstraction.common import AbstractionError, SoftDelivery, RxPath
-from repro.abstraction.topology import TopologyKB, LinkClass, LinkProfile
+from repro.abstraction.topology import TopologyKB, TopologyChange, LinkClass, LinkProfile
 from repro.abstraction.routing import (
     GATEWAY_RELAY_PORT,
     GATEWAY_RELAY_SERVICE,
@@ -46,6 +46,11 @@ from repro.abstraction.circuit import (
     CircuitIncoming,
     CIRCUIT_SERVICE,
 )
+from repro.abstraction.adaptive import (
+    AdaptiveListener,
+    AdaptiveVLink,
+    route_signature,
+)
 from repro.abstraction.drivers import (
     VLinkDriver,
     SysIOVLinkDriver,
@@ -62,9 +67,13 @@ from repro.abstraction.adapters import (
 
 __all__ = [
     "AbstractionError",
+    "AdaptiveListener",
+    "AdaptiveVLink",
+    "route_signature",
     "SoftDelivery",
     "RxPath",
     "TopologyKB",
+    "TopologyChange",
     "LinkClass",
     "LinkProfile",
     "Selector",

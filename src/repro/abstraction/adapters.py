@@ -155,6 +155,11 @@ class StreamMeshCircuitAdapter(CircuitAdapter):
         self._out_streams: Dict[int, object] = {}
         self._connecting: Dict[int, List[Tuple[bytes, Cost, SimEvent]]] = {}
         self._peers: Dict[int, _StreamPeer] = {}
+        # per-destination cursor serializing framed writes: a later small
+        # message with a cheaper send-side cost must never overtake an
+        # earlier large one towards the same rank (message-level twin of
+        # the MadVLink fix).
+        self._next_write_at: Dict[int, float] = {}
 
     # subclass hooks ------------------------------------------------------------
     def _listen(self, port: int, on_incoming: Callable) -> None:
@@ -220,8 +225,12 @@ class StreamMeshCircuitAdapter(CircuitAdapter):
 
     def _send_on(self, stream, dst_rank: int, payload: bytes, cost: Cost, done: SimEvent) -> None:
         frame = _FRAME.pack(self.circuit.rank, len(payload)) + payload
-        # The framing cost delays the actual write.
-        self.sim.call_later(cost.seconds, self._write_and_chain, stream, frame, done)
+        # The framing cost delays the actual write, but writes towards one
+        # destination stay serialized (same-time events are FIFO in the
+        # engine).
+        ready = max(self.sim.now + cost.seconds, self._next_write_at.get(dst_rank, 0.0))
+        self._next_write_at[dst_rank] = ready
+        self.sim.call_later(ready - self.sim.now, self._write_and_chain, stream, frame, done)
 
     def _write_and_chain(self, stream, frame: bytes, done: SimEvent) -> None:
         self._write(stream, frame).chain(done)

@@ -47,6 +47,7 @@ class StreamBuffer:
         self._buffer = bytearray()
         self._pending: List[Tuple[Optional[int], bool, SimEvent]] = []
         self._data_callback: Optional[Callable[[], None]] = None
+        self._close_callback: Optional[Callable[[], None]] = None
         self.closed = False
 
     def append(self, data: bytes) -> None:
@@ -75,7 +76,15 @@ class StreamBuffer:
         if fn is not None and self._buffer:
             fn()
 
+    def set_close_callback(self, fn: Optional[Callable[[], None]]) -> None:
+        """Called once when the stream closes (either end)."""
+        self._close_callback = fn
+        if fn is not None and self.closed:
+            fn()
+
     def close(self) -> None:
+        if self.closed:
+            return
         self.closed = True
         pending, self._pending = self._pending, []
         for _, _, ev in pending:
@@ -84,6 +93,8 @@ class StreamBuffer:
                     ev.succeed(self.read_available())
                 else:
                     ev.fail(ConnectionError("stream closed"))
+        if self._close_callback is not None:
+            self._close_callback()
 
     def _queue(self, nbytes: Optional[int], exact: bool) -> SimEvent:
         ev = self.sim.event(name=f"stream-read({nbytes})")
@@ -219,6 +230,12 @@ class MadVLinkConnection:
             self.buffer.set_data_callback(None)
         else:
             self.buffer.set_data_callback(lambda: fn(self))
+
+    def set_close_callback(self, fn) -> None:
+        if fn is None:
+            self.buffer.set_close_callback(None)
+        else:
+            self.buffer.set_close_callback(lambda: fn(self))
 
     def close(self) -> None:
         if self.closed:
@@ -384,12 +401,18 @@ class LoopbackPipe:
         else:
             self.buffer.set_data_callback(lambda: fn(self))
 
+    def set_close_callback(self, fn) -> None:
+        if fn is None:
+            self.buffer.set_close_callback(None)
+        else:
+            self.buffer.set_close_callback(lambda: fn(self))
+
     def close(self) -> None:
         self.closed = True
         self.buffer.close()
         if self.peer is not None and not self.peer.closed:
-            self.peer.buffer.close()
             self.peer.closed = True
+            self.peer.buffer.close()
 
 
 class LoopbackVLinkDriver(VLinkDriver):

@@ -147,17 +147,21 @@ class RoutingEngine:
         self._path_cache: Dict[Tuple[int, int], Tuple[int, List[Hop]]] = {}
 
     # -- edge weights ----------------------------------------------------------
-    @staticmethod
-    def edge_weight(network: Network) -> float:
+    def edge_weight(self, network: Network) -> float:
         """First-order cost of moving a reference payload over ``network``.
 
         Latency + payload/bandwidth, inflated by the loss rate (a lossy WAN
-        triggers TCP backoff well beyond its nominal parameters).
+        triggers TCP backoff well beyond its nominal parameters).  Uses the
+        topology KB's *effective* metrics, so measured degradations pushed by
+        the monitoring subsystem steer routes away from sick links.
         """
+        topology = self.topology
         base = latency_bandwidth_time(
-            ROUTE_WEIGHT_REF_BYTES, network.latency, network.bandwidth
+            ROUTE_WEIGHT_REF_BYTES,
+            topology.effective_latency(network),
+            topology.effective_bandwidth(network),
         )
-        return base * (1.0 + 10.0 * network.loss_rate)
+        return base * (1.0 + 10.0 * topology.effective_loss_rate(network))
 
     # -- graph construction -----------------------------------------------------
     def _graph(self) -> Dict[Host, List[Tuple[float, Host, Network]]]:
@@ -165,8 +169,15 @@ class RoutingEngine:
         if self._adjacency is not None and self._adjacency_generation == generation:
             return self._adjacency
         adjacency: Dict[Host, List[Tuple[float, Host, Network]]] = {}
+        registered = {id(h) for h in self.topology.hosts()}
         for network in self.topology.networks():
-            members = network.hosts()
+            if not self.topology.is_link_up(network):
+                continue
+            members = [
+                h
+                for h in network.hosts()
+                if id(h) in registered and self.topology.is_host_up(h)
+            ]
             if len(members) < 2:
                 continue
             weight = self.edge_weight(network)
@@ -300,6 +311,7 @@ class _RelaySession:
         self.buffer = bytearray()
         self.header: Optional[Tuple[int, int, int]] = None  # port, ttl, name_len
         self.failed = False
+        self.closed = False
         # per-direction cursor serializing forwarded writes: a small chunk's
         # shorter copy delay must never let it overtake an earlier large one.
         self._next_write_at: Dict[int, float] = {}
@@ -345,7 +357,12 @@ class _RelaySession:
             self._refuse(f"relay: unknown destination host {dst_name!r}")
             return
         try:
-            attempt = self.relay.manager.connect(dst_host, port, relay_ttl=ttl - 1)
+            # a relay leg carries somebody else's byte stream: only drivers
+            # that never surrender bytes may serve it (e.g. a VRP driver is
+            # usable only at zero tolerance).
+            attempt = self.relay.manager.connect(
+                dst_host, port, relay_ttl=ttl - 1, reliable_only=True
+            )
         except AbstractionError as exc:
             self._refuse(str(exc))
             return
@@ -367,6 +384,10 @@ class _RelaySession:
         self.downstream.set_data_handler(
             lambda _link: self._pump(self.downstream, self.upstream)
         )
+        # close() on either leg (local teardown, peer FIN, gateway death)
+        # propagates to the other leg and reclaims the session.
+        self.upstream.set_close_handler(lambda _link: self.teardown("upstream closed"))
+        self.downstream.set_close_handler(lambda _link: self.teardown("downstream closed"))
 
     def _refuse(self, reason: str) -> None:
         self.failed = True
@@ -374,6 +395,20 @@ class _RelaySession:
         self.relay.refused += 1
         self.relay.last_error = reason
         self.upstream.write(_RELAY_FAIL)
+        self.relay._reclaim(self)
+
+    # -- teardown ---------------------------------------------------------------
+    def teardown(self, reason: str = "") -> None:
+        """Close both legs of the splice and reclaim the session."""
+        if self.closed:
+            return
+        self.closed = True
+        from repro.abstraction.vlink import VLinkState
+
+        for leg in (self.upstream, self.downstream):
+            if leg is not None and leg.state is not VLinkState.CLOSED:
+                leg.close()
+        self.relay._reclaim(self, reason)
 
     # -- splice phase -----------------------------------------------------------
     def _pump(self, src_link: "VLink", dst_link: "VLink") -> None:
@@ -420,11 +455,13 @@ class GatewayRelay:
         self.port = port
         self.relayed = 0
         self.refused = 0
+        self.reclaimed = 0
         self.bytes_forwarded = 0
         self.last_error = ""
+        self.shut_down = False
         self._sessions: List[_RelaySession] = []
-        listener = manager.listen(port)
-        listener.set_accept_callback(self._on_upstream)
+        self._listener = manager.listen(port)
+        self._listener.set_accept_callback(self._on_upstream)
         self.host.register_service(GATEWAY_RELAY_SERVICE, self, replace=True)
 
     @property
@@ -437,12 +474,48 @@ class GatewayRelay:
         return selector.topology
 
     def _on_upstream(self, link: "VLink") -> None:
+        if self.shut_down:
+            link.close()
+            return
         self._sessions.append(_RelaySession(self, link))
+
+    def _reclaim(self, session: _RelaySession, reason: str = "") -> None:
+        if session in self._sessions:
+            self._sessions.remove(session)
+            self.reclaimed += 1
+
+    def sessions(self) -> List[_RelaySession]:
+        """The splices currently held open by this relay."""
+        return list(self._sessions)
+
+    def shutdown(self, reason: str = "gateway shutdown") -> None:
+        """Tear down every live splice and stop accepting new ones.
+
+        Both legs of every session are closed and the sessions reclaimed.
+        Whether the *endpoints* observe the close depends on why: on a
+        graceful shutdown the close notifications propagate; when the host
+        was killed (churn) the host is already down and the notifications
+        blackhole — crash semantics, endpoints recover via the monitoring /
+        adaptive machinery, not via FIN.  The raw listener stays installed
+        (a dead host receives nothing anyway), so :meth:`restart` after a
+        revival resumes service.
+        """
+        if self.shut_down:
+            return
+        self.shut_down = True
+        for session in list(self._sessions):
+            session.teardown(reason)
+        self._sessions.clear()
+
+    def restart(self) -> None:
+        """Resume accepting splices after a shutdown (host revived)."""
+        self.shut_down = False
 
     def describe(self) -> Dict[str, object]:
         return {
             "relayed": self.relayed,
             "refused": self.refused,
+            "reclaimed": self.reclaimed,
             "bytes_forwarded": self.bytes_forwarded,
             "sessions": len(self._sessions),
         }

@@ -161,6 +161,24 @@ class Selector:
             return sorted(nets, key=lambda n: (-n.bandwidth, n.latency))[0]
         return profile.best_network
 
+    def mutually_available(
+        self, available: List[str], dst: Host, reliable_only: bool = False
+    ) -> List[str]:
+        """Restrict ``available`` to methods the destination also serves.
+
+        A driver only registered on one side cannot complete a connection
+        (the method's listener is not there); when the intersection is empty
+        the original list is kept so error messages stay meaningful.  With
+        ``reliable_only`` the *remote* driver must also be reliable — a VRP
+        receiver with non-zero tolerance zero-fills holes no matter how
+        strict the sender is.  The connect path and relay hops use this;
+        ``choose_vlink`` itself keeps treating the caller's list as
+        authoritative.
+        """
+        remote = set(self.vlink_methods_on(dst, reliable_only=reliable_only))
+        usable = [m for m in available if m in remote]
+        return usable or list(available)
+
     # -- public API ---------------------------------------------------------------
     def choose_vlink(self, src: Host, dst: Host, available: List[str]) -> RouteChoice:
         """Pick the VLink driver for a (src, dst) connection."""
@@ -187,23 +205,32 @@ class Selector:
         )
 
     # -- route-level API -----------------------------------------------------------
-    def choose_vlink_route(self, src: Host, dst: Host, available: List[str]) -> Route:
+    def choose_vlink_route(
+        self, src: Host, dst: Host, available: List[str], reliable_only: bool = False
+    ) -> Route:
         """The full VLink path decision: one hop for directly connected pairs
         (identical to :meth:`choose_vlink`), a multi-hop gateway route when no
         common network exists, an :class:`AbstractionError` when there is no
-        path at all."""
+        path at all.  ``reliable_only`` restricts every hop to drivers that
+        never surrender bytes, on both ends."""
         profile = self.topology.link_profile(src, dst)
         if profile.link_class is not LinkClass.NONE:
-            return Route(src, dst, [self.choose_vlink(src, dst, available)])
+            # the chosen method must be served on both ends of the link
+            usable = self.mutually_available(available, dst, reliable_only)
+            return Route(src, dst, [self.choose_vlink(src, dst, usable)])
         hops = self.routing.host_path(src, dst)
         choices: List[RouteChoice] = []
         for index, hop in enumerate(hops):
-            hop_available = available if index == 0 else self.vlink_methods_on(hop.src)
+            hop_available = (
+                available
+                if index == 0
+                else self.vlink_methods_on(hop.src, reliable_only=reliable_only)
+            )
             choices.append(
                 self._pick(
                     hop.src,
                     hop.dst,
-                    hop_available,
+                    self.mutually_available(hop_available, hop.dst, reliable_only),
                     _DEFAULT_VLINK,
                     self.preferences.vlink_methods,
                     _CROSS_PARADIGM_VLINK,
@@ -242,11 +269,14 @@ class Selector:
             f"candidates={candidates}, available={sorted(available)}"
         )
 
-    def vlink_methods_on(self, host: Host) -> List[str]:
+    def vlink_methods_on(self, host: Host, reliable_only: bool = False) -> List[str]:
         """Driver names on an intermediate host (the gateway re-picks at
-        forward time anyway; unbooted gateways assume the stock drivers)."""
+        forward time anyway; unbooted gateways assume the stock drivers,
+        which are all reliable)."""
         manager = host.get_service("vlink")
         if manager is not None:
+            if reliable_only:
+                return manager.reliable_driver_names()
             return manager.driver_names()
         return ["loopback", "madio", "sysio"]
 

@@ -153,6 +153,21 @@ class VLink:
         else:
             self.conn.set_data_callback(lambda _c: fn(self))
 
+    def set_close_handler(self, fn: Optional[Callable[["VLink"], None]]) -> None:
+        """Handler called when the underlying connection closes.
+
+        Used by gateway relays (teardown propagation across the splice) and
+        adaptive links (rail-death detection).  Every driver connection
+        either exposes ``set_close_callback`` directly or owns a
+        :class:`~repro.abstraction.drivers.StreamBuffer` that does.
+        """
+        callback = None if fn is None else (lambda *_args: fn(self))
+        conn = self.conn
+        if hasattr(conn, "set_close_callback"):
+            conn.set_close_callback(callback)
+        elif hasattr(conn, "buffer"):
+            conn.buffer.set_close_callback(callback)
+
     # -- internals ----------------------------------------------------------------
     def _check_established(self, opname: str) -> None:
         if self.state is not VLinkState.ESTABLISHED:
@@ -220,6 +235,14 @@ class VLinkManager:
         self._drivers: Dict[str, "VLinkDriver"] = {}
         self._listeners: Dict[int, VLinkListener] = {}
         self._links: List[VLink] = []
+        #: open adaptive sessions originated here (migration candidates).
+        self._adaptive_links: List = []
+        self._topology_subscribed = False
+        self._reroute_scheduled = False
+        #: optional hook run before re-routing towards a destination; the
+        #: framework points it at ``ensure_gateways`` so migrations can land
+        #: on relay routes whose gateways are booted on demand.
+        self.gateway_provisioner: Optional[Callable[[Host], None]] = None
         host.register_service(VLINK_SERVICE, self, replace=True)
 
     # -- drivers -------------------------------------------------------------------
@@ -228,6 +251,12 @@ class VLinkManager:
         if driver.name in self._drivers:
             return self._drivers[driver.name]
         self._drivers[driver.name] = driver
+        # Late registration (e.g. WAN method drivers enabled on a gateway
+        # after boot) must serve the ports the manager already listens on.
+        for port, listener in self._listeners.items():
+            driver.listen(
+                port, lambda conn, peer, n=driver.name, l=listener: l._incoming(n, conn, peer)
+            )
         return driver
 
     def driver(self, name: str) -> "VLinkDriver":
@@ -241,6 +270,13 @@ class VLinkManager:
 
     def driver_names(self) -> List[str]:
         return sorted(self._drivers)
+
+    def reliable_driver_names(self) -> List[str]:
+        """Drivers that never surrender bytes (adaptive rails require this:
+        a VRP driver with a non-zero tolerance would hole the framed stream)."""
+        return sorted(
+            name for name, driver in self._drivers.items() if getattr(driver, "reliable", True)
+        )
 
     def links(self) -> List[VLink]:
         return list(self._links)
@@ -263,6 +299,7 @@ class VLinkManager:
         port: int,
         method: Optional[str] = None,
         relay_ttl: int = MAX_RELAY_TTL,
+        reliable_only: bool = False,
     ) -> VLinkOperation:
         """Post a connect to ``dst_host:port``.
 
@@ -272,13 +309,18 @@ class VLinkManager:
         the selector returns a multi-hop route, the connection is opened to
         the first gateway's relay service, which store-and-forwards towards
         the destination (``relay_ttl`` bounds the remaining chain length).
+        ``reliable_only`` restricts selection to drivers that never give up
+        bytes (adaptive rails need that guarantee).
         """
         op = VLinkOperation(self.sim, "connect")
         route: Optional[RouteChoice | Route] = None
         if method is None:
             if self.selector is not None:
+                available = (
+                    self.reliable_driver_names() if reliable_only else self.driver_names()
+                )
                 full_route = self.selector.choose_vlink_route(
-                    self.host, dst_host, self.driver_names()
+                    self.host, dst_host, available, reliable_only=reliable_only
                 )
                 if not full_route.is_direct:
                     self._connect_via_relay(full_route, dst_host, port, relay_ttl, op)
@@ -366,6 +408,71 @@ class VLinkManager:
             if name.startswith(prefix) and self._drivers[name].reaches(dst_host):
                 return self._drivers[name]
         return driver
+
+    # -- adaptive sessions -------------------------------------------------------
+    def listen_adaptive(self, port: int):
+        """Listen for *adaptive* sessions on ``port`` (see
+        :mod:`repro.abstraction.adaptive`): migratable, exactly-once ordered
+        byte streams that survive topology changes under them."""
+        from repro.abstraction.adaptive import AdaptiveListener
+
+        return AdaptiveListener(self, port)
+
+    def connect_adaptive(self, dst_host: Host, port: int) -> VLinkOperation:
+        """Open an adaptive session to ``dst_host:port``.
+
+        The returned operation completes with an
+        :class:`~repro.abstraction.adaptive.AdaptiveVLink`; its rail is
+        re-selected (and the stream migrated without losing or reordering
+        bytes) whenever the topology knowledge base changes under it.
+        """
+        from repro.abstraction.adaptive import adaptive_connect
+
+        return adaptive_connect(self, dst_host, port)
+
+    def adaptive_links(self) -> List:
+        return list(self._adaptive_links)
+
+    def _register_adaptive(self, link) -> None:
+        self._adaptive_links.append(link)
+        if not self._topology_subscribed and self.selector is not None:
+            self.selector.topology.subscribe(self._on_topology_change)
+            self._topology_subscribed = True
+
+    def _unregister_adaptive(self, link) -> None:
+        if link in self._adaptive_links:
+            self._adaptive_links.remove(link)
+
+    def _on_topology_change(self, change) -> None:
+        """Topology mutated: re-run selection for open adaptive links.
+
+        Deferred by one event-loop turn so the re-evaluation happens after
+        the mutation (and any sibling notifications) fully settled.
+        """
+        if self._reroute_scheduled or not self._adaptive_links:
+            return
+        self._reroute_scheduled = True
+        self.sim.call_later(0.0, self._reroute_adaptive_links)
+
+    def _reroute_adaptive_links(self) -> None:
+        self._reroute_scheduled = False
+        if self.selector is None:
+            return
+        from repro.abstraction.adaptive import route_signature
+
+        for link in list(self._adaptive_links):
+            if link.state is not VLinkState.ESTABLISHED or link.role != "client":
+                continue
+            if self.gateway_provisioner is not None:
+                self.gateway_provisioner(link.dst_host)
+            try:
+                route = self.selector.choose_vlink_route(
+                    self.host, link.dst_host, self.reliable_driver_names(), reliable_only=True
+                )
+            except AbstractionError:
+                continue  # destination unreachable right now: keep the rail
+            if route_signature(route) != link.rail_signature:
+                link.migrate(reason=f"topology change: {route.describe()}")
 
     def _fallback_method(self, dst_host: Host) -> str:
         order = ["loopback"] if dst_host is self.host else []

@@ -38,6 +38,8 @@ from repro.abstraction import (
     VLinkManager,
 )
 from repro.abstraction.common import AbstractionError
+from repro.abstraction.topology import WAN_LATENCY_THRESHOLD
+from repro.monitoring import FaultInjector, TopologyMonitor
 
 
 class FrameworkError(RuntimeError):
@@ -60,6 +62,7 @@ class PadicoNode:
         self.circuits: Optional[CircuitManager] = None
         self.gateway_relay: Optional[GatewayRelay] = None
         self._booted = False
+        self._wan_methods_enabled = False
         self._middleware: Dict[str, object] = {}
 
     # -- bootstrap -------------------------------------------------------------
@@ -134,12 +137,42 @@ class PadicoNode:
         # traffic between its rails, making multi-homed hosts usable as
         # gateways for hosts without a common network.
         self.gateway_relay = GatewayRelay(self.vlink)
+
+        # Adaptive re-routing: migrations towards a destination may need
+        # relay nodes booted (and WAN methods enabled) on the new route.
+        self.vlink.gateway_provisioner = (
+            lambda dst, _fw=self.framework, _src=host: _fw.ensure_gateways(_src, dst)
+        )
         self._booted = True
         return self
 
     @property
     def booted(self) -> bool:
         return self._booted
+
+    def enable_wan_methods(self, streams: int = 4) -> bool:
+        """Register the WAN method drivers (parallel streams, AdOC, VRP at
+        zero tolerance) on this node, so relayed hops from here can use
+        them.  Idempotent; called automatically for gateway nodes."""
+        if self._wan_methods_enabled:
+            return True
+        if self.sysio is None or not self._booted:
+            return False
+        from repro.methods import register_wan_method_drivers
+
+        register_wan_method_drivers(self, streams=streams)
+        self._wan_methods_enabled = True
+        return True
+
+    @property
+    def is_wan_gateway(self) -> bool:
+        """Multi-homed with at least one WAN-class interface: relayed hops
+        through this node cross a WAN and profit from the method drivers."""
+        networks = self.host.networks()
+        has_wan = any(
+            n.is_distributed and n.latency >= WAN_LATENCY_THRESHOLD for n in networks
+        )
+        return has_wan and len([n for n in networks if not isinstance(n, Loopback)]) >= 2
 
     # -- convenience -----------------------------------------------------------------
     def circuit(self, name: str, group: HostGroup, **kwargs) -> Circuit:
@@ -152,17 +185,29 @@ class PadicoNode:
                 self.framework.ensure_gateways(self.host, member)
         return self.circuits.create(name, group, **kwargs)
 
-    def vlink_listen(self, port: int):
+    def vlink_listen(self, port: int, adaptive: bool = False):
         self._require_boot()
+        if adaptive:
+            return self.vlink.listen_adaptive(port)
         return self.vlink.listen(port)
 
-    def vlink_connect(self, dst: "PadicoNode | Host", port: int, method: Optional[str] = None):
+    def vlink_connect(
+        self,
+        dst: "PadicoNode | Host",
+        port: int,
+        method: Optional[str] = None,
+        adaptive: bool = False,
+    ):
         self._require_boot()
         dst_host = dst.host if isinstance(dst, PadicoNode) else dst
         if method is None:
             # Routed connects need a relay on every intermediate host; the
             # framework picks the gateways and boots them on demand.
             self.framework.ensure_gateways(self.host, dst_host)
+        if adaptive:
+            if method is not None:
+                raise FrameworkError("adaptive connects pick their own method; drop method=")
+            return self.vlink.connect_adaptive(dst_host, port)
         return self.vlink.connect(dst_host, port, method=method)
 
     # -- middleware registry (per node) --------------------------------------------------
@@ -200,6 +245,10 @@ class PadicoFramework:
         self.preferences = preferences or Preferences()
         self.routing = RoutingEngine(self.topology)
         self.selector = Selector(self.topology, self.preferences, routing=self.routing)
+        #: the dynamic-topology monitor; `monitoring.watch(network)` starts
+        #: the probe → estimator → knowledge-base feedback loop.
+        self.monitoring = TopologyMonitor(self.topology, self.sim)
+        self._fault_injectors: Dict[tuple, FaultInjector] = {}
         self._hosts: Dict[str, Host] = {}
         self._nodes: Dict[str, PadicoNode] = {}
         self._networks: Dict[str, Network] = {}
@@ -304,16 +353,38 @@ class PadicoFramework:
 
     def ensure_gateways(self, src: Host, dst: Host) -> List[PadicoNode]:
         """Boot the relay nodes on the src->dst route (no-op for direct links
-        or unreachable pairs — the connect path reports those itself)."""
+        or unreachable pairs — the connect path reports those itself), and
+        enable the WAN method drivers on every gateway of the route so the
+        relayed hops can use parallel streams / zero-tolerance VRP instead
+        of a plain socket per hop."""
         try:
             gateways = self.routing.gateways_between(src, dst)
         except AbstractionError:
             return []
         booted = []
         for gateway in gateways:
-            if gateway.name in self._hosts and not gateway.has_service(GATEWAY_RELAY_SERVICE):
+            if gateway.name not in self._hosts:
+                continue
+            if not gateway.has_service(GATEWAY_RELAY_SERVICE):
                 booted.extend(self.boot([gateway.name]))
+            node = self._nodes.get(gateway.name)
+            if node is not None and node.is_wan_gateway:
+                node.enable_wan_methods()
         return booted
+
+    def fault_injector(self, *, seed: int = 0xC0FFEE, announce: bool = True) -> FaultInjector:
+        """The seeded churn/fault injector bound to this deployment.
+
+        Cached per ``(seed, announce)``: repeated accessor calls share one
+        injector, so state such as saved pre-degradation link parameters
+        survives between a ``degrade_link_at`` and a later
+        ``recover_link_at``.
+        """
+        injector = self._fault_injectors.get((seed, announce))
+        if injector is None:
+            injector = FaultInjector(self.sim, self.topology, seed=seed, announce=announce)
+            self._fault_injectors[(seed, announce)] = injector
+        return injector
 
     def node(self, name: str) -> PadicoNode:
         try:
@@ -343,6 +414,7 @@ class PadicoFramework:
             "booted_nodes": sorted(self._nodes),
             "adjacency": {f"{a}--{b}": c for (a, b), c in self.topology.adjacency().items()},
             "routing": self.routing.describe(),
+            "monitoring": self.monitoring.describe(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -23,6 +23,8 @@ from repro.methods.vrp import VrpVLinkDriver, VrpConnection, VrpStats
 from repro.methods.security import SecureVLinkDriver, SecureConnection, SiteCredential
 
 __all__ = [
+    "register_method_drivers",
+    "register_wan_method_drivers",
     "ParallelStreamsVLinkDriver",
     "ParallelStreamConnection",
     "AdocVLinkDriver",
@@ -45,3 +47,21 @@ def register_method_drivers(node, *, streams: int = 4, vrp_tolerance: float = 0.
     manager.register_driver(AdocVLinkDriver(sysio))
     manager.register_driver(VrpVLinkDriver(sysio, tolerance=vrp_tolerance))
     manager.register_driver(SecureVLinkDriver(sysio))
+
+
+def register_wan_method_drivers(node, *, streams: int = 4) -> None:
+    """Register the WAN method drivers a *gateway* needs for relayed hops.
+
+    Parallel streams and AdOC are lossless by construction; VRP is pinned at
+    zero tolerance because a relay (or an adaptive rail) must never give up
+    bytes that belong to somebody else's stream.  An already-registered
+    driver wins the name (``register_driver`` keeps the existing instance) —
+    that is safe because relay legs and adaptive rails restrict selection to
+    *reliable* drivers, so a user-registered lossy VRP is simply not used
+    for them.
+    """
+    manager = node.vlink
+    sysio = node.sysio
+    manager.register_driver(ParallelStreamsVLinkDriver(sysio, streams=streams))
+    manager.register_driver(AdocVLinkDriver(sysio))
+    manager.register_driver(VrpVLinkDriver(sysio, tolerance=0.0))

@@ -84,6 +84,11 @@ class AdocConnection:
         self.blocks_compressed = 0
         self.bytes_in = 0
         self.bytes_on_wire = 0
+        # per-direction cursors serializing the size-dependent codec delays:
+        # a small block's cheaper (de)compression must never let it overtake
+        # an earlier large one — this is a byte stream.
+        self._next_write_at = 0.0
+        self._next_append_at = 0.0
         sock.set_data_callback(self._on_data)
 
     # -- driver-connection interface --------------------------------------------------
@@ -98,7 +103,9 @@ class AdocConnection:
         self.bytes_on_wire += len(wire)
         frame = _BLOCK.pack(flags, len(data), len(wire)) + wire
         done = self.sim.event(name=f"adoc-write({len(data)}B)")
-        self.sim.call_later(cpu, lambda: self.sock.write(frame).chain(done))
+        ready = max(self.sim.now + cpu, self._next_write_at)
+        self._next_write_at = ready
+        self.sim.call_later(ready - self.sim.now, lambda: self.sock.write(frame).chain(done))
         return done
 
     def recv(self, nbytes: Optional[int] = None) -> SimEvent:
@@ -143,7 +150,9 @@ class AdocConnection:
             wire = bytes(self._rx[_BLOCK.size : _BLOCK.size + wire_len])
             del self._rx[: _BLOCK.size + wire_len]
             block, cpu = self.codec.decode(flags, wire, original)
-            self.sim.call_later(cpu, self.buffer.append, block)
+            ready = max(self.sim.now + cpu, self._next_append_at)
+            self._next_append_at = ready
+            self.sim.call_later(ready - self.sim.now, self.buffer.append, block)
 
 
 class AdocVLinkDriver(VLinkDriver):

@@ -78,6 +78,11 @@ class SecureConnection:
         self._rx = bytearray()
         self.closed = False
         self.records_rejected = 0
+        # per-direction cursors serializing the size-dependent cipher delays:
+        # a small record's cheaper crypto must never let it overtake an
+        # earlier large one — this is a byte stream.
+        self._next_write_at = 0.0
+        self._next_append_at = 0.0
         sock.set_data_callback(self._on_data)
 
     # -- driver-connection interface ------------------------------------------------
@@ -89,7 +94,9 @@ class SecureConnection:
         frame = _RECORD.pack(len(ciphertext), tag) + ciphertext
         cpu = len(data) / self.CIPHER_BANDWIDTH
         done = self.sim.event(name=f"gsi-write({len(data)}B)")
-        self.sim.call_later(cpu, lambda: self.sock.write(frame).chain(done))
+        ready = max(self.sim.now + cpu, self._next_write_at)
+        self._next_write_at = ready
+        self.sim.call_later(ready - self.sim.now, lambda: self.sock.write(frame).chain(done))
         return done
 
     def recv(self, nbytes: Optional[int] = None) -> SimEvent:
@@ -132,7 +139,9 @@ class SecureConnection:
                 continue
             plaintext = _cipher(self.session_key, ciphertext)
             cpu = len(plaintext) / self.CIPHER_BANDWIDTH
-            self.sim.call_later(cpu, self.buffer.append, plaintext)
+            ready = max(self.sim.now + cpu, self._next_append_at)
+            self._next_append_at = ready
+            self.sim.call_later(ready - self.sim.now, self.buffer.append, plaintext)
 
 
 class SecureVLinkDriver(VLinkDriver):

@@ -268,6 +268,12 @@ class VrpVLinkDriver(VLinkDriver):
         self._next_channel = (hash(self.host.name) & 0xFFF) << 16
         self._datagram_handler_installed: Dict[str, bool] = {}
 
+    @property
+    def reliable(self) -> bool:
+        """Only a zero-tolerance VRP keeps every byte; adaptive rails and
+        gateway relays must not ride a driver that surrenders data."""
+        return self.tolerance == 0.0
+
     # -- datagram demultiplexing -------------------------------------------------------
     def _register_data_sink(self, channel_id: int, conn: VrpConnection) -> None:
         self._sinks[channel_id] = conn

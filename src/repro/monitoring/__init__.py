@@ -1,0 +1,48 @@
+"""The dynamic-topology subsystem: monitoring, churn and feedback.
+
+The paper's abstraction layer chooses adapters from a topology knowledge
+base; this package is what keeps that knowledge base *true* while the grid
+changes underneath it, and what makes change survivable:
+
+* :mod:`repro.monitoring.probes` — passive per-link observers fed by real
+  traffic, plus seeded active ping probes run as simulator processes;
+* :mod:`repro.monitoring.estimators` — EWMA and sliding-window smoothing of
+  raw samples into measured link profiles;
+* :mod:`repro.monitoring.feedback` — the :class:`TopologyMonitor` pushing
+  measured profiles into the :class:`~repro.abstraction.topology.TopologyKB`
+  (generation bump → cache invalidation → adaptive re-selection) and
+  marking dead links down after a run of lost probes;
+* :mod:`repro.monitoring.churn` — a deterministic, seeded fault injector
+  (link degradation/failure/recovery, gateway death) with inhomogeneous
+  Poisson arrival schedules via thinning.
+
+The reaction side — live VLinks migrating to new adapters or gateway
+routes without losing or reordering bytes — lives in
+:mod:`repro.abstraction.adaptive`.
+"""
+
+from repro.monitoring.estimators import (
+    EwmaEstimator,
+    LinkEstimator,
+    LinkSample,
+    MeasuredLink,
+    SlidingWindowEstimator,
+)
+from repro.monitoring.probes import ActivePingProbe, PassiveLinkProbe
+from repro.monitoring.feedback import LinkWatch, TopologyMonitor
+from repro.monitoring.churn import FaultEvent, FaultInjector, poisson_thinning_times
+
+__all__ = [
+    "ActivePingProbe",
+    "EwmaEstimator",
+    "FaultEvent",
+    "FaultInjector",
+    "LinkEstimator",
+    "LinkSample",
+    "LinkWatch",
+    "MeasuredLink",
+    "PassiveLinkProbe",
+    "SlidingWindowEstimator",
+    "TopologyMonitor",
+    "poisson_thinning_times",
+]

@@ -1,0 +1,153 @@
+"""Link-metric estimators: EWMA and sliding-window smoothing of samples.
+
+Probes (:mod:`repro.monitoring.probes`) emit raw :class:`LinkSample`
+observations; a :class:`LinkEstimator` combines per-metric smoothers into a
+*measured* link profile (:class:`MeasuredLink`) suitable for pushing into
+the :class:`~repro.abstraction.topology.TopologyKB`.  Everything here is
+purely deterministic — the seeds live in the probes that feed it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional
+
+
+@dataclass
+class LinkSample:
+    """One raw observation of a link, emitted by a probe."""
+
+    at: float                           # virtual time of the observation
+    kind: str                           # "frame" (passive) or "ping" (active)
+    latency: Optional[float] = None     # achieved one-way latency, seconds
+    bandwidth: Optional[float] = None   # achieved wire rate, bytes/s
+    nbytes: int = 0
+    lost: bool = False
+
+
+@dataclass
+class MeasuredLink:
+    """The estimators' current belief about a link."""
+
+    latency: Optional[float]
+    bandwidth: Optional[float]
+    loss_rate: float
+    samples: int
+    updated_at: float
+
+
+class EwmaEstimator:
+    """Exponentially weighted moving average of a scalar metric."""
+
+    def __init__(self, alpha: float = 0.25):
+        if not (0.0 < alpha <= 1.0):
+            raise ValueError(f"alpha must be in (0, 1], got {alpha!r}")
+        self.alpha = alpha
+        self.value: Optional[float] = None
+        self.samples = 0
+
+    def update(self, x: float) -> float:
+        if self.value is None:
+            self.value = float(x)
+        else:
+            self.value = self.alpha * float(x) + (1.0 - self.alpha) * self.value
+        self.samples += 1
+        return self.value
+
+    def reset(self) -> None:
+        self.value = None
+        self.samples = 0
+
+
+class SlidingWindowEstimator:
+    """Mean over the last ``window`` samples of a scalar metric."""
+
+    def __init__(self, window: int = 32):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window!r}")
+        self.window = window
+        self._values: Deque[float] = deque(maxlen=window)
+        self.samples = 0
+
+    def update(self, x: float) -> float:
+        self._values.append(float(x))
+        self.samples += 1
+        return self.mean()
+
+    def mean(self) -> Optional[float]:
+        if not self._values:
+            return None
+        return sum(self._values) / len(self._values)
+
+    def maximum(self) -> Optional[float]:
+        return max(self._values) if self._values else None
+
+    def reset(self) -> None:
+        self._values.clear()
+        self.samples = 0
+
+
+@dataclass
+class LinkEstimator:
+    """Combined per-link estimators fed by probe samples.
+
+    Latency and bandwidth are EWMA-smoothed (they drift); loss is a sliding
+    window of hit/miss outcomes (it is a rate).  ``consecutive_lost`` is the
+    failure-detector input: a run of lost active probes means the link is
+    dead, not merely lossy.
+    """
+
+    alpha: float = 0.25
+    window: int = 32
+    min_samples: int = 4
+    latency: EwmaEstimator = field(init=False)
+    bandwidth: EwmaEstimator = field(init=False)
+    loss: SlidingWindowEstimator = field(init=False)
+    consecutive_lost: int = field(init=False, default=0)
+    last_sample_at: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        self.latency = EwmaEstimator(self.alpha)
+        self.bandwidth = EwmaEstimator(self.alpha)
+        self.loss = SlidingWindowEstimator(self.window)
+
+    @property
+    def samples(self) -> int:
+        return self.loss.samples
+
+    def update(self, sample: LinkSample) -> None:
+        self.last_sample_at = sample.at
+        if sample.lost:
+            self.loss.update(1.0)
+            # Only lost *active probes* argue for link death: passive loss
+            # samples are the ordinary loss model at work (a lossy WAN drops
+            # datagrams all day without being down).
+            if sample.kind == "ping":
+                self.consecutive_lost += 1
+            return
+        self.loss.update(0.0)
+        # any successful crossing — active or passive — refutes death
+        self.consecutive_lost = 0
+        if sample.latency is not None:
+            self.latency.update(sample.latency)
+        if sample.bandwidth is not None:
+            self.bandwidth.update(sample.bandwidth)
+
+    def estimate(self) -> Optional[MeasuredLink]:
+        """The current measured profile, or None until enough samples exist."""
+        if self.samples < self.min_samples:
+            return None
+        return MeasuredLink(
+            latency=self.latency.value,
+            bandwidth=self.bandwidth.value,
+            loss_rate=self.loss.mean() or 0.0,
+            samples=self.samples,
+            updated_at=self.last_sample_at,
+        )
+
+    def reset(self) -> None:
+        self.latency.reset()
+        self.bandwidth.reset()
+        self.loss.reset()
+        self.consecutive_lost = 0

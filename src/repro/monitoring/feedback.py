@@ -1,0 +1,255 @@
+"""The feedback loop: measured link profiles flow back into the topology KB.
+
+A :class:`TopologyMonitor` owns, per watched network, a passive probe, an
+optional active ping probe and a :class:`~repro.monitoring.estimators.LinkEstimator`.
+Whenever the estimate moves materially — the link *reclassifies* (e.g. a WAN
+whose measured loss crossed ``LOSSY_THRESHOLD`` flips to ``LOSSY_WAN``) or a
+metric drifts beyond ``push_threshold`` — the monitor pushes the measured
+profile into the :class:`~repro.abstraction.topology.TopologyKB`, which
+bumps the generation (invalidating the RoutingEngine/Selector caches) and
+notifies subscribers (triggering adaptive VLink re-selection).
+
+A run of ``dead_after`` consecutive lost active probes is the failure
+detector: the link is marked down in the KB; the first successful probe
+afterwards marks it back up.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Iterable, List, Optional
+
+from repro.simnet.engine import Simulator
+from repro.simnet.network import Network
+from repro.abstraction.topology import (
+    LOSSY_THRESHOLD,
+    WAN_LATENCY_THRESHOLD,
+    LinkClass,
+    TopologyKB,
+)
+from repro.monitoring.estimators import LinkEstimator, LinkSample, MeasuredLink
+from repro.monitoring.probes import ActivePingProbe, PassiveLinkProbe
+
+
+class LinkWatch:
+    """Probes + estimator + push bookkeeping for one watched network."""
+
+    def __init__(
+        self,
+        monitor: "TopologyMonitor",
+        network: Network,
+        *,
+        interval: float,
+        seed: int,
+        alpha: float,
+        window: int,
+        min_samples: int,
+        active: bool,
+    ):
+        self.monitor = monitor
+        self.network = network
+        self.estimator = LinkEstimator(alpha=alpha, window=window, min_samples=min_samples)
+        self.passive = PassiveLinkProbe(network, self._on_sample)
+        self.active: Optional[ActivePingProbe] = None
+        if active:
+            self.active = ActivePingProbe(
+                network, self._on_sample, interval=interval, seed=seed
+            )
+        self.pushed: Optional[MeasuredLink] = None
+        self.marked_down = False
+        # what the KB believed when the watch started: the baseline the
+        # estimates are compared against (the live network attributes are
+        # the *physical* truth churn mutates — the KB must not read the
+        # answer off them, it must measure it).
+        topology = monitor.topology
+        self.believed = MeasuredLink(
+            latency=topology.effective_latency(network),
+            bandwidth=topology.effective_bandwidth(network),
+            loss_rate=topology.effective_loss_rate(network),
+            samples=0,
+            updated_at=monitor.sim.now,
+        )
+        self.believed_class = topology.classify_network(network)
+
+    def _on_sample(self, sample: LinkSample) -> None:
+        self.estimator.update(sample)
+        self.monitor._evaluate(self)
+
+    def stop(self) -> None:
+        self.passive.detach()
+        if self.active is not None:
+            self.active.cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LinkWatch {self.network.name} samples={self.estimator.samples}>"
+
+
+class TopologyMonitor:
+    """Owns the monitoring feedback loop of one deployment.
+
+    Exposed as ``framework.monitoring``; call :meth:`watch` per network of
+    interest (or :meth:`watch_all`), and the measured world starts replacing
+    the nominal one for every selection decision.
+    """
+
+    def __init__(
+        self,
+        topology: TopologyKB,
+        sim: Simulator,
+        *,
+        push_threshold: float = 0.2,
+        dead_after: int = 5,
+    ):
+        self.topology = topology
+        self.sim = sim
+        self.push_threshold = push_threshold
+        self.dead_after = dead_after
+        self._watches: Dict[Network, LinkWatch] = {}
+        self.pushes = 0
+        self.reclassifications = 0
+        self.links_marked_down = 0
+        self.links_marked_up = 0
+
+    # -- watch management --------------------------------------------------------
+    def watch(
+        self,
+        network: Network,
+        *,
+        interval: float = 0.05,
+        seed: int = 0x9806,
+        alpha: float = 0.25,
+        window: int = 32,
+        min_samples: int = 4,
+        active: bool = True,
+    ) -> LinkWatch:
+        """Start monitoring ``network``; idempotent per network."""
+        if network in self._watches:
+            return self._watches[network]
+        watch = LinkWatch(
+            self,
+            network,
+            interval=interval,
+            # stable per-network tweak (never Python's salted hash(): the
+            # probe schedule must reproduce across processes)
+            seed=seed ^ (zlib.crc32(network.name.encode("utf-8")) & 0xFFFF),
+            alpha=alpha,
+            window=window,
+            min_samples=min_samples,
+            active=active,
+        )
+        self._watches[network] = watch
+        return watch
+
+    def watch_all(self, networks: Optional[Iterable[Network]] = None, **kwargs) -> List[LinkWatch]:
+        targets = list(networks) if networks is not None else self.topology.networks()
+        return [self.watch(n, **kwargs) for n in targets]
+
+    def unwatch(self, network: Network) -> None:
+        watch = self._watches.pop(network, None)
+        if watch is not None:
+            watch.stop()
+
+    def stop(self) -> None:
+        """Cancel every probe (leaves pushed measurements in the KB)."""
+        for watch in list(self._watches.values()):
+            watch.stop()
+        self._watches.clear()
+
+    def watches(self) -> List[LinkWatch]:
+        return list(self._watches.values())
+
+    # -- the feedback step ---------------------------------------------------------
+    def _evaluate(self, watch: LinkWatch) -> None:
+        estimator = watch.estimator
+        network = watch.network
+        # Failure detection first: a run of lost probes is death, not loss.
+        if estimator.consecutive_lost >= self.dead_after:
+            if not watch.marked_down:
+                watch.marked_down = True
+                self.links_marked_down += 1
+                self.topology.mark_link_down(network, detail="probe timeout")
+            return
+        if watch.marked_down and estimator.consecutive_lost == 0:
+            watch.marked_down = False
+            self.links_marked_up += 1
+            self.topology.mark_link_up(network, detail="probe recovered")
+        estimate = estimator.estimate()
+        if estimate is None:
+            return
+        if self._should_push(watch, estimate):
+            self._push(watch, estimate)
+
+    def _should_push(self, watch: LinkWatch, estimate: MeasuredLink) -> bool:
+        """Push on a class flip or a material drift vs the current belief."""
+        if self._classify(estimate, watch.network, watch.believed_class) is not watch.believed_class:
+            return True
+        return self._changed(watch.believed, estimate)
+
+    def _changed(self, believed: MeasuredLink, estimate: MeasuredLink) -> bool:
+        pairs = [
+            (believed.latency, estimate.latency),
+            (believed.bandwidth, estimate.bandwidth),
+        ]
+        for old, new in pairs:
+            if old is None or new is None or old <= 0:
+                continue
+            if abs(new - old) / old > self.push_threshold:
+                return True
+        return abs(estimate.loss_rate - believed.loss_rate) > max(
+            self.push_threshold * believed.loss_rate, 0.005
+        )
+
+    def _classify(
+        self,
+        estimate: MeasuredLink,
+        network: Network,
+        current: Optional[LinkClass] = None,
+    ) -> LinkClass:
+        """What the KB would say with this estimate applied.
+
+        With ``current`` given, the lossy verdict is hysteretic: a link
+        already believed lossy only flips back once its measured loss drops
+        well below the threshold, so window noise cannot flap the class
+        (and with it the adapter choice) sample by sample.
+        """
+        if network.is_parallel:
+            return LinkClass.SAN
+        latency = estimate.latency if estimate.latency is not None else network.latency
+        if latency >= WAN_LATENCY_THRESHOLD:
+            threshold = LOSSY_THRESHOLD
+            if current is LinkClass.LOSSY_WAN:
+                threshold = LOSSY_THRESHOLD / 4.0
+            if estimate.loss_rate >= threshold:
+                return LinkClass.LOSSY_WAN
+            return LinkClass.WAN
+        return LinkClass.LAN
+
+    def _push(self, watch: LinkWatch, estimate: MeasuredLink) -> None:
+        network = watch.network
+        self.topology.apply_measurement(
+            network,
+            latency=estimate.latency,
+            bandwidth=estimate.bandwidth,
+            loss_rate=estimate.loss_rate,
+            detail=f"measured over {estimate.samples} samples",
+        )
+        watch.pushed = estimate
+        watch.believed = estimate
+        self.pushes += 1
+        after = self._classify(estimate, network, watch.believed_class)
+        if after is not watch.believed_class:
+            self.reclassifications += 1
+            watch.believed_class = after
+
+    # -- reporting ------------------------------------------------------------------
+    def describe(self) -> Dict[str, object]:
+        return {
+            "watched": sorted(n.name for n in self._watches),
+            "pushes": self.pushes,
+            "reclassifications": self.reclassifications,
+            "links_marked_down": self.links_marked_down,
+            "links_marked_up": self.links_marked_up,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TopologyMonitor watching {len(self._watches)} links pushes={self.pushes}>"

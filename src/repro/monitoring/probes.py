@@ -1,0 +1,158 @@
+"""Link probes: passive traffic observers and active ping processes.
+
+Two complementary observation channels feed the estimators:
+
+* :class:`PassiveLinkProbe` — hangs off a network's instrumentation hook
+  (:meth:`repro.simnet.network.Network.add_observer`) and converts every
+  real frame crossing the wire into latency/bandwidth samples, and every
+  datagram loss or blackholed frame into a loss sample.  Free (no traffic
+  of its own) but blind when the link is idle.
+* :class:`ActivePingProbe` — a fixed-rate simulator process
+  (:class:`repro.simnet.engine.PeriodicTask`) emulating a tiny echo probe
+  between two hosts of the network: each tick it draws the probe's fate
+  from its own *seeded* generator against the link's current physical
+  parameters.  Catches silent degradation and death on idle links, and a
+  run of lost probes is the failure-detector signal.
+
+Passive probes cannot see TCP's internal loss model (the window model draws
+losses itself rather than dropping frames), which is exactly why the active
+probe exists.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Optional
+
+from repro.simnet.host import Host
+from repro.simnet.network import Network
+from repro.monitoring.estimators import LinkSample
+
+
+class PassiveLinkProbe:
+    """Per-link observer recording achieved metrics from real traffic."""
+
+    def __init__(self, network: Network, on_sample: Callable[[LinkSample], None]):
+        self.network = network
+        self.on_sample = on_sample
+        self.frames = 0
+        self.losses = 0
+        self._hook = network.add_observer(self._observe)
+
+    def _observe(self, network: Network, kind: str, info: Dict) -> None:
+        if kind == "frame":
+            frame = info["frame"]
+            meta = frame.meta
+            tx_begin = meta.get("tx_begin")
+            tx_end = meta.get("tx_end")
+            arrival = meta.get("arrival")
+            latency = None
+            bandwidth = None
+            if tx_end is not None and arrival is not None:
+                latency = arrival - tx_end
+            if tx_begin is not None and tx_end is not None and tx_end > tx_begin:
+                bandwidth = network.wire_bytes(frame.nbytes) / (tx_end - tx_begin)
+            self.frames += 1
+            self.on_sample(
+                LinkSample(
+                    at=network.sim.now,
+                    kind="frame",
+                    latency=latency,
+                    bandwidth=bandwidth,
+                    nbytes=frame.nbytes,
+                )
+            )
+        elif kind in ("datagram-lost", "blackhole"):
+            self.losses += 1
+            nbytes = info.get("nbytes", 0)
+            frame = info.get("frame")
+            if frame is not None:
+                nbytes = frame.nbytes
+            self.on_sample(
+                LinkSample(at=network.sim.now, kind="frame", nbytes=nbytes, lost=True)
+            )
+
+    def detach(self) -> None:
+        self.network.remove_observer(self._hook)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PassiveLinkProbe {self.network.name} frames={self.frames} losses={self.losses}>"
+
+
+class ActivePingProbe:
+    """Seeded periodic ping across one network, run as a simulator process.
+
+    Models a minimal echo probe between two attached hosts without pushing
+    frames through the full protocol stack: each tick the probe's fate is
+    drawn against the link's *current* physical loss rate (seeded generator,
+    fully reproducible), and on success the achieved round-trip derives from
+    the current latency/bandwidth — so churn-mutated parameters become
+    visible even on otherwise idle links.  A probe across a down wire or a
+    dead endpoint is always lost.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        on_sample: Callable[[LinkSample], None],
+        *,
+        interval: float = 0.05,
+        payload: int = 64,
+        seed: int = 0x9806,
+        src: Optional[Host] = None,
+        dst: Optional[Host] = None,
+    ):
+        self.network = network
+        self.sim = network.sim
+        self.on_sample = on_sample
+        self.interval = interval
+        self.payload = payload
+        self.rng = random.Random(seed)
+        # explicit endpoints make this a *pair* probe; the default watches
+        # the wire itself: any two live attached hosts can still exchange
+        # probes, so one dead member must not read as a dead network.
+        self.src = src
+        self.dst = dst
+        self.sent = 0
+        self.lost = 0
+        self._task = self.sim.every(interval, self._tick)
+
+    def _tick(self) -> None:
+        network = self.network
+        self.sent += 1
+        if self.src is not None and self.dst is not None:
+            alive = network.link_alive(self.src, self.dst)
+        else:
+            live_members = [h for h in network.hosts() if h.up]
+            alive = network.up and len(live_members) >= 2
+        # two one-way crossings; each MTU-sized leg faces the loss rate once
+        dropped = not alive or (
+            network.loss_rate > 0.0
+            and (
+                self.rng.random() < network.loss_rate
+                or self.rng.random() < network.loss_rate
+            )
+        )
+        if dropped:
+            self.lost += 1
+            self.on_sample(LinkSample(at=self.sim.now, kind="ping", lost=True))
+            return
+        one_way = network.latency + network.serialization_time(self.payload)
+        self.on_sample(
+            LinkSample(
+                at=self.sim.now,
+                kind="ping",
+                latency=one_way,
+                bandwidth=network.bandwidth,
+                nbytes=self.payload,
+            )
+        )
+
+    def cancel(self) -> None:
+        self._task.cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ActivePingProbe {self.network.name} every {self.interval * 1e3:.0f}ms "
+            f"sent={self.sent} lost={self.lost}>"
+        )

@@ -239,6 +239,41 @@ class Interrupt(Exception):
         self.cause = cause
 
 
+class PeriodicTask:
+    """A lightweight recurring task: run ``fn(*args)`` every ``interval``.
+
+    The engine-level helper behind simulator *processes* that only need a
+    fixed-rate tick (active link probes, estimator push loops): cheaper than
+    a full generator process and explicitly cancellable.  Note that a live
+    periodic task keeps the event heap non-empty, so ``run(until=None)``
+    will not terminate until every periodic task has been cancelled.
+    """
+
+    __slots__ = ("sim", "interval", "fn", "args", "cancelled", "runs")
+
+    def __init__(self, sim: "Simulator", interval: float, fn: Callable, *args: Any):
+        if interval <= 0:
+            raise SimulationError(f"periodic interval must be positive, got {interval!r}")
+        self.sim = sim
+        self.interval = float(interval)
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self.runs = 0
+        sim.call_later(self.interval, self._tick)
+
+    def _tick(self) -> None:
+        if self.cancelled:
+            return
+        self.fn(*self.args)
+        self.runs += 1
+        self.sim.call_later(self.interval, self._tick)
+
+    def cancel(self) -> None:
+        """Stop the task; the currently scheduled tick becomes a no-op."""
+        self.cancelled = True
+
+
 class AllOf(SimEvent):
     """Fires when every child event has fired; value is the list of values."""
 
@@ -314,6 +349,10 @@ class Simulator:
     def process(self, gen: Generator, name: str = "") -> Process:
         """Register a generator as a simulation process."""
         return Process(self, gen, name=name)
+
+    def every(self, interval: float, fn: Callable, *args: Any) -> PeriodicTask:
+        """Run ``fn(*args)`` every ``interval`` virtual seconds until cancelled."""
+        return PeriodicTask(self, interval, fn, *args)
 
     def all_of(self, events: Iterable[SimEvent]) -> AllOf:
         return AllOf(self, events)

@@ -64,6 +64,9 @@ class Host:
         self.nics: Dict["Network", "Nic"] = {}
         self._services: Dict[str, Any] = {}
         self._labels: Dict[str, str] = {}
+        #: physical liveness; a dead host neither sends nor receives frames.
+        #: Flipped by the churn injector (:mod:`repro.monitoring.churn`).
+        self.up = True
 
     # -- NIC management ------------------------------------------------------
     def attach_nic(self, nic: "Nic") -> None:

@@ -208,6 +208,11 @@ class Network:
         self.frames_dropped = 0
         self.bytes_carried = 0
         self.drop_log: List[Tuple[int, str]] = []
+        #: physical link state; a down network blackholes every frame.
+        #: Flipped by the churn injector (:mod:`repro.monitoring.churn`).
+        self.up = True
+        #: traffic observers (passive link probes); see :meth:`add_observer`.
+        self._observers: List[Callable[["Network", str, Dict[str, Any]], None]] = []
 
     # -- topology ----------------------------------------------------------------
     def connect(self, host: "Host") -> Nic:
@@ -238,6 +243,31 @@ class Network:
             return self.nics[host]
         except KeyError:
             raise LookupError(f"host {host.name!r} is not attached to {self.name!r}") from None
+
+    # -- instrumentation ----------------------------------------------------------
+    def add_observer(self, fn: Callable[["Network", str, Dict[str, Any]], None]) -> Callable:
+        """Register a traffic observer ``fn(network, kind, info)``.
+
+        ``kind`` is ``"frame"`` (a frame was put on the wire and will arrive;
+        ``info["frame"]`` carries the timing metadata), ``"datagram-lost"``
+        (an unreliable datagram was dropped by the loss model) or
+        ``"blackhole"`` (a frame was swallowed by a down link or dead host).
+        Passive link probes (:mod:`repro.monitoring.probes`) hang off this.
+        """
+        self._observers.append(fn)
+        return fn
+
+    def remove_observer(self, fn: Callable) -> None:
+        if fn in self._observers:
+            self._observers.remove(fn)
+
+    def _observe(self, kind: str, **info: Any) -> None:
+        for fn in list(self._observers):
+            fn(self, kind, info)
+
+    def link_alive(self, src: "Host", dst: "Host") -> bool:
+        """True when the wire and both endpoints are physically up."""
+        return self.up and src.up and dst.up
 
     # -- timing model ---------------------------------------------------------------
     def packets_for(self, nbytes: int) -> int:
@@ -296,14 +326,22 @@ class Network:
         ready = self.sim.now + sw
         begin, end = src_nic.reserve_tx(ready, self.serialization_time(frame.nbytes))
         arrival = end + self.latency
+        frame.meta.setdefault("tx_begin", begin)
+        frame.meta.setdefault("tx_end", end)
+        frame.meta.setdefault("arrival", arrival)
+        if not self.link_alive(src, dst):
+            # The sender cannot tell: the bytes leave the NIC and vanish.
+            # Reliability above this point is the job of the layers that the
+            # monitoring/adaptive subsystem provides (acks + retransmission).
+            self.record_drop(frame, reason="link-down")
+            self._observe("blackhole", frame=frame)
+            return frame
         self.frames_sent += 1
         self.bytes_carried += frame.nbytes
         src_nic.tx_frames += 1
         src_nic.tx_bytes += frame.nbytes
-        frame.meta.setdefault("tx_begin", begin)
-        frame.meta.setdefault("tx_end", end)
-        frame.meta.setdefault("arrival", arrival)
         self.sim.call_at(arrival, dst_nic.handle_arrival, frame, arrival)
+        self._observe("frame", frame=frame)
         return frame
 
     def transmit_datagram(
@@ -322,6 +360,11 @@ class Network:
         Returns the frame if it was put on the wire and will arrive, or
         ``None`` if it was lost (the caller — UDP personality or VRP — deals
         with it)."""
+        if not self.link_alive(src, dst):
+            self.frames_dropped += 1
+            self.drop_log.append((len(payload), "link-down"))
+            self._observe("datagram-lost", nbytes=len(payload), reason="link-down")
+            return None
         packets = self.packets_for(len(payload))
         lost = any(self.rng.random() < self.loss_rate for _ in range(packets))
         if lost:
@@ -333,6 +376,7 @@ class Network:
             src_nic = self.nic_of(src)
             sw = send_cost.seconds if send_cost is not None else 0.0
             src_nic.reserve_tx(self.sim.now + sw, self.serialization_time(len(payload)))
+            self._observe("datagram-lost", nbytes=len(payload), reason="loss")
             return None
         return self.transmit(
             src, dst, payload, channel=channel, send_cost=send_cost, meta=meta
@@ -360,6 +404,7 @@ class Network:
             "bandwidth_MBps": self.bandwidth / MB,
             "mtu": self.mtu,
             "loss_rate": self.loss_rate,
+            "up": self.up,
             "hosts": [h.name for h in self.nics],
         }
 
