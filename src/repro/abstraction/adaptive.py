@@ -33,6 +33,7 @@ import struct
 import zlib
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.simnet.buffers import ByteRing
 from repro.simnet.host import Host
 from repro.abstraction.common import AbstractionError
 from repro.abstraction.drivers import StreamBuffer
@@ -85,21 +86,27 @@ def route_signature(route: "Optional[Route | RouteChoice]") -> Optional[Tuple]:
 
 
 class _FrameParser:
-    """Per-rail reassembly of ``(type, offset, payload)`` frames."""
+    """Per-rail reassembly of ``(type, offset, payload)`` frames.
+
+    Incoming chunks are aliased into a :class:`ByteRing`; headers are peeked
+    without assembling payloads, and each payload byte is sliced out exactly
+    once.
+    """
 
     def __init__(self) -> None:
-        self.buffer = bytearray()
+        self.buffer = ByteRing()
 
     def feed(self, data: bytes) -> List[Tuple[int, int, bytes]]:
-        self.buffer += data
+        ring = self.buffer
+        ring.append(data)
         out: List[Tuple[int, int, bytes]] = []
-        while len(self.buffer) >= _FRAME.size:
-            kind, offset, length = _FRAME.unpack_from(self.buffer, 0)
-            if len(self.buffer) < _FRAME.size + length:
+        header_size = _FRAME.size
+        while len(ring) >= header_size:
+            kind, offset, length = _FRAME.unpack(ring.peek(header_size))
+            if len(ring) < header_size + length:
                 break
-            payload = bytes(self.buffer[_FRAME.size : _FRAME.size + length])
-            del self.buffer[: _FRAME.size + length]
-            out.append((kind, offset, payload))
+            ring.skip(header_size)
+            out.append((kind, offset, ring.take(length)))
         return out
 
 
@@ -145,6 +152,7 @@ class AdaptiveVLink:
         self._migrating = False
         self._remigrate = False
         self._attempt = 0  # epoch guarding stale migration completions
+        self._migration_timer = None  # cancellable TimerHandle of the attempt
         #: True when the peer closed while promising bytes we never received
         #: (only possible when the carrying wire died with data in flight).
         self.truncated = False
@@ -156,7 +164,8 @@ class AdaptiveVLink:
         """Post a write; completes once the peer has delivered the bytes."""
         if self.state is VLinkState.CLOSED:
             raise AbstractionError("write() on a closed adaptive VLink")
-        data = bytes(data)
+        if type(data) is not bytes:
+            data = bytes(data)  # the retransmission buffer must own the bytes
         op = VLinkOperation(self.sim, "write", None)
         if not data:
             op.succeed(0)
@@ -192,6 +201,7 @@ class AdaptiveVLink:
             return op
         self.state = VLinkState.CLOSED
         self._attempt += 1  # a migration completing after close is stale
+        self._cancel_migration_timer()
         rail = self.rail
         if rail is not None and rail.state is VLinkState.ESTABLISHED:
             try:
@@ -204,8 +214,10 @@ class AdaptiveVLink:
                 # the peer (closing a TCP rail aborts unpumped sends); a dead
                 # wire is covered by the timeout fallback.
                 notify = rail.write(_FRAME.pack(_T_CLOSE, self.out_offset, 0))
-                notify.add_callback(lambda _ev: self._close_rail(rail))
-                self.sim.call_later(MIGRATION_TIMEOUT, self._close_rail, rail)
+                guard = self.sim.call_later(MIGRATION_TIMEOUT, self._close_rail, rail)
+                notify.add_callback(
+                    lambda _ev: (guard.cancel(), self._close_rail(rail))
+                )
             except Exception:
                 self._close_rail(rail)
         else:
@@ -369,6 +381,7 @@ class AdaptiveVLink:
             return
         self.state = VLinkState.CLOSED
         self._attempt += 1  # a migration completing after close is stale
+        self._cancel_migration_timer()
         if final_offset is not None and final_offset > self.in_delivered:
             # the peer promised bytes that never reached us: the rails they
             # travelled on are gone.  Flag it — this is not a clean EOF.
@@ -410,9 +423,17 @@ class AdaptiveVLink:
         attempt_id = self._attempt
         attempt = self.manager.connect(self.dst_host, self.port, reliable_only=True)
         attempt.add_callback(lambda ev: self._on_migration_rail(ev, attempt_id))
-        self.sim.call_later(MIGRATION_TIMEOUT, self._migration_timeout, attempt_id)
+        self._migration_timer = self.sim.call_later(
+            MIGRATION_TIMEOUT, self._migration_timeout, attempt_id
+        )
+
+    def _cancel_migration_timer(self) -> None:
+        timer, self._migration_timer = self._migration_timer, None
+        if timer is not None:
+            timer.cancel()
 
     def _migration_timeout(self, attempt_id: int) -> None:
+        self._migration_timer = None
         if attempt_id != self._attempt or not self._migrating:
             return
         self._attempt += 1  # a late completion of this attempt is now stale
@@ -457,6 +478,7 @@ class AdaptiveVLink:
                 )
             )
             return
+        self._cancel_migration_timer()
         self._migrating = False
         self.migrations += 1
         self.last_migration_error = None
@@ -472,6 +494,7 @@ class AdaptiveVLink:
         self.manager._reroute_adaptive_links()
 
     def _migration_failed(self, exc: BaseException) -> None:
+        self._cancel_migration_timer()
         self._migrating = False
         self._remigrate = False
         self.last_migration_error = exc
@@ -607,7 +630,8 @@ def adaptive_connect(manager: VLinkManager, dst_host: Host, port: int) -> VLinkO
             if rail.state is not VLinkState.CLOSED:
                 rail.close()
 
-    manager.sim.call_later(MIGRATION_TIMEOUT, _handshake_timed_out)
+    handshake_guard = manager.sim.call_later(MIGRATION_TIMEOUT, _handshake_timed_out)
+    op.add_callback(lambda _ev: handshake_guard.cancel())
 
     def _rail_open(ev):
         if not ev.ok:

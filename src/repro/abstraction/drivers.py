@@ -22,8 +22,10 @@ from __future__ import annotations
 
 import itertools
 import struct
-from typing import Callable, Dict, List, Optional, Tuple
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from repro.simnet.buffers import ByteRing
 from repro.simnet.cost import Cost
 from repro.simnet.engine import SimEvent
 from repro.simnet.host import Host
@@ -40,18 +42,24 @@ from repro.abstraction.common import (
 
 
 class StreamBuffer:
-    """Reusable receive-side byte buffer with exact/partial read events."""
+    """Reusable receive-side byte buffer with exact/partial read events.
+
+    Bytes live in a zero-copy :class:`~repro.simnet.buffers.ByteRing`:
+    ``append`` aliases the incoming chunk and reads slice each byte out at
+    most once (the seed ``bytearray`` implementation memmoved the whole
+    remainder on every read).
+    """
 
     def __init__(self, sim):
         self.sim = sim
-        self._buffer = bytearray()
-        self._pending: List[Tuple[Optional[int], bool, SimEvent]] = []
+        self._buffer = ByteRing()
+        self._pending: Deque[Tuple[Optional[int], bool, SimEvent]] = deque()
         self._data_callback: Optional[Callable[[], None]] = None
         self._close_callback: Optional[Callable[[], None]] = None
         self.closed = False
 
     def append(self, data: bytes) -> None:
-        self._buffer += data
+        self._buffer.append(data)
         self._satisfy()
         if self._data_callback is not None and self._buffer:
             self._data_callback()
@@ -60,15 +68,19 @@ class StreamBuffer:
         return len(self._buffer)
 
     def read_available(self, limit: Optional[int] = None) -> bytes:
-        take = len(self._buffer) if limit is None else min(limit, len(self._buffer))
-        chunk = bytes(self._buffer[:take])
-        del self._buffer[:take]
-        return chunk
+        return self._buffer.take(limit)
 
     def recv(self, nbytes: Optional[int] = None) -> SimEvent:
         return self._queue(nbytes, exact=False)
 
     def recv_exact(self, nbytes: int) -> SimEvent:
+        buffer = self._buffer
+        if buffer._size >= nbytes and not self._pending and not self.closed:
+            # fast path: satisfiable immediately — trigger without touching
+            # the pending queue (the event still completes through the loop)
+            ev = SimEvent(self.sim, "stream-read")
+            ev.succeed(buffer.take(nbytes))
+            return ev
         return self._queue(nbytes, exact=True)
 
     def set_data_callback(self, fn: Optional[Callable[[], None]]) -> None:
@@ -86,7 +98,7 @@ class StreamBuffer:
         if self.closed:
             return
         self.closed = True
-        pending, self._pending = self._pending, []
+        pending, self._pending = self._pending, deque()
         for _, _, ev in pending:
             if not ev.triggered:
                 if self._buffer:
@@ -97,7 +109,7 @@ class StreamBuffer:
             self._close_callback()
 
     def _queue(self, nbytes: Optional[int], exact: bool) -> SimEvent:
-        ev = self.sim.event(name=f"stream-read({nbytes})")
+        ev = self.sim.event(name="stream-read")
         if self.closed and not self._buffer:
             ev.fail(ConnectionError("stream closed"))
             return ev
@@ -106,15 +118,15 @@ class StreamBuffer:
         return ev
 
     def _satisfy(self) -> None:
-        while self._pending and self._buffer:
-            nbytes, exact, ev = self._pending[0]
-            if exact and nbytes is not None and len(self._buffer) < nbytes:
+        buffer = self._buffer
+        pending = self._pending
+        while pending and buffer._size:
+            nbytes, exact, ev = pending[0]
+            if exact and nbytes is not None and buffer._size < nbytes:
                 return
-            self._pending.pop(0)
-            take = len(self._buffer) if nbytes is None else min(nbytes, len(self._buffer))
-            chunk = bytes(self._buffer[:take])
-            del self._buffer[:take]
-            if not ev.triggered:
+            pending.popleft()
+            chunk = buffer.take(nbytes)
+            if not ev._triggered:
                 ev.succeed(chunk)
 
 

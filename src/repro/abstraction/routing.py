@@ -35,6 +35,7 @@ import struct
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
+from repro.simnet.buffers import ByteRing
 from repro.simnet.cost import MILLISECOND, latency_bandwidth_time
 from repro.simnet.host import Host
 from repro.simnet.network import Network
@@ -308,7 +309,7 @@ class _RelaySession:
         self.sim = relay.sim
         self.upstream = upstream
         self.downstream: Optional["VLink"] = None
-        self.buffer = bytearray()
+        self.buffer = ByteRing()
         self.header: Optional[Tuple[int, int, int]] = None  # port, ttl, name_len
         self.failed = False
         self.closed = False
@@ -323,11 +324,11 @@ class _RelaySession:
         if self.failed:
             self.upstream.read_available()
             return
-        self.buffer += self.upstream.read_available()
+        self.buffer.append(self.upstream.read_available())
         if self.header is None:
             if len(self.buffer) < _RELAY_HELLO.size:
                 return
-            magic, port, ttl, name_len = _RELAY_HELLO.unpack_from(self.buffer, 0)
+            magic, port, ttl, name_len = _RELAY_HELLO.unpack(self.buffer.peek(_RELAY_HELLO.size))
             if magic != _RELAY_MAGIC:
                 self._refuse("relay: bad handshake magic")
                 return
@@ -335,16 +336,14 @@ class _RelaySession:
         port, ttl, name_len = self.header
         if len(self.buffer) < _RELAY_HELLO.size + name_len:
             return
-        dst_name = bytes(
-            self.buffer[_RELAY_HELLO.size : _RELAY_HELLO.size + name_len]
-        ).decode("utf-8")
-        del self.buffer[: _RELAY_HELLO.size + name_len]
+        self.buffer.skip(_RELAY_HELLO.size)
+        dst_name = self.buffer.take(name_len).decode("utf-8")
         # handshake complete: keep buffering payload while the next leg opens
         self.upstream.set_data_handler(lambda _link: self._buffer_early_payload())
         self._open_downstream(dst_name, port, ttl)
 
     def _buffer_early_payload(self) -> None:
-        self.buffer += self.upstream.read_available()
+        self.buffer.append(self.upstream.read_available())
 
     def _open_downstream(self, dst_name: str, port: int, ttl: int) -> None:
         if ttl <= 0:
@@ -376,8 +375,7 @@ class _RelaySession:
         self.relay.relayed += 1
         self.upstream.write(_RELAY_OK)
         if self.buffer:
-            early, self.buffer = bytes(self.buffer), bytearray()
-            self._forward(self.downstream, early)
+            self._forward(self.downstream, self.buffer.take())
         self.upstream.set_data_handler(
             lambda _link: self._pump(self.upstream, self.downstream)
         )

@@ -62,7 +62,7 @@ class VLinkOperation(SimEvent):
     __slots__ = ("kind", "vlink", "posted_at")
 
     def __init__(self, sim, kind: str, vlink: Optional["VLink"] = None):
-        super().__init__(sim, name=f"vlink-{kind}")
+        super().__init__(sim, name=kind)
         self.kind = kind
         self.vlink = vlink
         self.posted_at = sim.now
@@ -101,7 +101,9 @@ class VLink:
         self._check_established("write")
         op = VLinkOperation(self.sim, "write", self)
         self.bytes_written += len(data)
-        self.conn.write(bytes(data)).chain(op)
+        if type(data) is not bytes:
+            data = bytes(data)  # drivers may alias the buffer; snapshot mutables
+        self.conn.write(data).chain(op)
         return op
 
     def read(self, nbytes: int, exact: bool = True) -> VLinkOperation:

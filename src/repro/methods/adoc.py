@@ -20,6 +20,7 @@ import zlib
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
+from repro.simnet.buffers import ByteRing
 from repro.simnet.cost import MB, MICROSECOND
 from repro.simnet.engine import SimEvent
 from repro.simnet.host import Host
@@ -78,7 +79,7 @@ class AdocConnection:
         self.sock = sock
         self.peer_name = sock.peer_name
         self.buffer = StreamBuffer(driver.sim)
-        self._rx = bytearray()
+        self._rx = ByteRing()
         self.closed = False
         self.blocks_sent = 0
         self.blocks_compressed = 0
@@ -140,15 +141,16 @@ class AdocConnection:
 
     # -- receive path ---------------------------------------------------------------------
     def _on_data(self, sock: SysSocket) -> None:
-        self._rx += sock.read_available()
+        rx = self._rx
+        rx.append(sock.read_available())
         while True:
-            if len(self._rx) < _BLOCK.size:
+            if len(rx) < _BLOCK.size:
                 return
-            flags, original, wire_len = _BLOCK.unpack_from(self._rx, 0)
-            if len(self._rx) < _BLOCK.size + wire_len:
+            flags, original, wire_len = _BLOCK.unpack(rx.peek(_BLOCK.size))
+            if len(rx) < _BLOCK.size + wire_len:
                 return
-            wire = bytes(self._rx[_BLOCK.size : _BLOCK.size + wire_len])
-            del self._rx[: _BLOCK.size + wire_len]
+            rx.skip(_BLOCK.size)
+            wire = rx.take(wire_len)
             block, cpu = self.codec.decode(flags, wire, original)
             ready = max(self.sim.now + cpu, self._next_append_at)
             self._next_append_at = ready

@@ -18,6 +18,7 @@ from __future__ import annotations
 import struct
 from typing import Callable, Dict, List, Optional
 
+from repro.simnet.buffers import ByteRing
 from repro.simnet.cost import MICROSECOND, split_even
 from repro.simnet.engine import SimEvent
 from repro.simnet.host import Host
@@ -40,20 +41,19 @@ class _Reassembler:
         self._partial: Dict[int, List[Optional[bytes]]] = {}
         self._complete: Dict[int, bytes] = {}
         self._next_record = 0
-        self._per_stream = {i: bytearray() for i in range(total_streams)}
+        self._per_stream = {i: ByteRing() for i in range(total_streams)}
 
     def feed(self, stream_index: int, data: bytes) -> None:
-        buf = self._per_stream[stream_index]
-        buf += data
+        ring = self._per_stream[stream_index]
+        ring.append(data)
         while True:
-            if len(buf) < _RECORD.size:
+            if len(ring) < _RECORD.size:
                 break
-            record_id, slice_index, length = _RECORD.unpack_from(buf, 0)
-            if len(buf) < _RECORD.size + length:
+            record_id, slice_index, length = _RECORD.unpack(ring.peek(_RECORD.size))
+            if len(ring) < _RECORD.size + length:
                 break
-            payload = bytes(buf[_RECORD.size : _RECORD.size + length])
-            del buf[: _RECORD.size + length]
-            self._add_slice(record_id, slice_index, payload)
+            ring.skip(_RECORD.size)
+            self._add_slice(record_id, slice_index, ring.take(length))
 
     def _add_slice(self, record_id: int, slice_index: int, payload: bytes) -> None:
         slices = self._partial.setdefault(record_id, [None] * self.total_streams)

@@ -19,6 +19,7 @@ import struct
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.simnet.buffers import ByteRing
 from repro.simnet.cost import MB, MICROSECOND
 from repro.simnet.engine import SimEvent
 from repro.simnet.host import Host
@@ -75,7 +76,7 @@ class SecureConnection:
         self.peer_name = sock.peer_name
         self.session_key = session_key
         self.buffer = StreamBuffer(driver.sim)
-        self._rx = bytearray()
+        self._rx = ByteRing()
         self.closed = False
         self.records_rejected = 0
         # per-direction cursors serializing the size-dependent cipher delays:
@@ -124,15 +125,16 @@ class SecureConnection:
 
     # -- receive path ------------------------------------------------------------------
     def _on_data(self, sock: SysSocket) -> None:
-        self._rx += sock.read_available()
+        rx = self._rx
+        rx.append(sock.read_available())
         while True:
-            if len(self._rx) < _RECORD.size:
+            if len(rx) < _RECORD.size:
                 return
-            length, tag = _RECORD.unpack_from(self._rx, 0)
-            if len(self._rx) < _RECORD.size + length:
+            length, tag = _RECORD.unpack(rx.peek(_RECORD.size))
+            if len(rx) < _RECORD.size + length:
                 return
-            ciphertext = bytes(self._rx[_RECORD.size : _RECORD.size + length])
-            del self._rx[: _RECORD.size + length]
+            rx.skip(_RECORD.size)
+            ciphertext = rx.take(length)
             expected = hmac.new(self.session_key, ciphertext, hashlib.sha256).digest()
             if not hmac.compare_digest(expected, tag):
                 self.records_rejected += 1

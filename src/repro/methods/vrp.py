@@ -27,6 +27,7 @@ import struct
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
+from repro.simnet.buffers import ByteRing
 from repro.simnet.cost import MICROSECOND, Cost
 from repro.simnet.engine import SimEvent
 from repro.simnet.host import Host
@@ -102,7 +103,7 @@ class VrpConnection:
         self.chunk_size = min(network.mtu, 1400)
         self.buffer = StreamBuffer(driver.sim)
         self.stats = VrpStats()
-        self._ctl_rx = bytearray()
+        self._ctl_rx = ByteRing()
         self._records_rx: Dict[int, _RecordRx] = {}
         self._records_tx: Dict[int, bytes] = {}
         self._pending_writes: Dict[int, SimEvent] = {}
@@ -206,10 +207,10 @@ class VrpConnection:
             self._maybe_complete(record)
 
     def _on_ctl_data(self, _sock: SysSocket) -> None:
-        self._ctl_rx += self.ctl.read_available()
-        while len(self._ctl_rx) >= _CTL_RECORD.size:
-            kind, record_id, total, chunk_size = _CTL_RECORD.unpack_from(self._ctl_rx, 0)
-            del self._ctl_rx[: _CTL_RECORD.size]
+        rx = self._ctl_rx
+        rx.append(self.ctl.read_available())
+        while len(rx) >= _CTL_RECORD.size:
+            kind, record_id, total, chunk_size = _CTL_RECORD.unpack(rx.take(_CTL_RECORD.size))
             if kind == _CTL_NEW_RECORD:
                 record = self._records_rx.get(record_id)
                 if record is None:

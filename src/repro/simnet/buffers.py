@@ -1,0 +1,169 @@
+"""Zero-copy byte buffers shared by every byte-stream layer.
+
+The seed implementation of every receive buffer in the stack (TCP, the
+driver-level :class:`~repro.abstraction.drivers.StreamBuffer`, the codec
+drivers, the adaptive frame parser) was a ``bytearray`` consumed with
+``bytes(buf[:take]); del buf[:take]`` — each read copies the taken prefix
+*and* memmoves the entire remainder, so draining one TCP burst in framed
+pieces moves O(burst^2 / piece) bytes, and a relayed multi-hop transfer
+re-pays that at every layer of every hop.
+
+:class:`ByteRing` replaces the pattern with a ring of immutable chunks and
+a head offset:
+
+* ``append`` keeps a *reference* to the appended ``bytes`` (no copy —
+  writable buffers are defensively snapshotted, see below);
+* ``take`` slices each byte out at most once; when a read consumes exactly
+  the head chunk, the original object is returned without any copy at all;
+* ``peek`` / ``skip`` let frame parsers unpack headers without consuming or
+  assembling payloads.
+
+Rules for driver authors
+------------------------
+
+* Only hand ``append`` buffers you will not mutate afterwards.  ``bytes``
+  are stored by reference; anything else (bytearray, memoryview) is
+  snapshotted to ``bytes``, so passing them is correct but forfeits the
+  zero-copy win — produce ``bytes`` on the hot path.
+* ``take``/``peek`` return ``bytes`` — consumers own them outright.
+* A chunk is pinned until fully consumed: taking 1 byte of a 64 KB chunk
+  keeps the 64 KB alive.  That matches the simulator's traffic (chunks are
+  consumed promptly and completely); do not use ByteRing to hold a tiny
+  tail of a huge buffer indefinitely.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+
+class ByteRing:
+    """A FIFO of bytes stored as a ring of immutable chunks."""
+
+    __slots__ = ("_chunks", "_head", "_size")
+
+    def __init__(self, data: bytes = b""):
+        self._chunks: deque = deque()
+        self._head = 0  # read offset into the first chunk
+        self._size = 0
+        if data:
+            self.append(data)
+
+    # -- producing ---------------------------------------------------------
+    def append(self, data) -> None:
+        """Enqueue ``data``; ``bytes`` are kept by reference (zero-copy).
+
+        Anything else (bytearray, memoryview, ...) is snapshotted to bytes —
+        defensively for writable buffers, and so that every stored chunk is
+        a plain ``bytes`` and the consuming paths slice without type checks.
+        """
+        if type(data) is not bytes:
+            data = bytes(data)
+        if not data:
+            return
+        self._chunks.append(data)
+        self._size += len(data)
+
+    # -- sizing ------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    # -- consuming ---------------------------------------------------------
+    def take(self, nbytes: Optional[int] = None) -> bytes:
+        """Consume and return up to ``nbytes`` (everything when None)."""
+        size = self._size
+        if nbytes is None or nbytes >= size:
+            nbytes = size
+        if nbytes <= 0:
+            return b""
+        chunks = self._chunks
+        head = self._head
+        first = chunks[0]
+        avail = len(first) - head
+        if nbytes < avail:
+            end = head + nbytes
+            self._head = end
+            self._size = size - nbytes
+            return first[head:end]
+        if nbytes == avail:
+            chunks.popleft()
+            self._head = 0
+            self._size = size - nbytes
+            return first[head:] if head else first
+        parts = []
+        remaining = nbytes
+        while remaining:
+            first = chunks[0]
+            avail = len(first) - head
+            if avail <= remaining:
+                parts.append(first[head:] if head else first)
+                chunks.popleft()
+                head = 0
+                remaining -= avail
+            else:
+                parts.append(first[head : head + remaining])
+                head += remaining
+                remaining = 0
+        self._head = head
+        self._size = size - nbytes
+        return b"".join(parts)
+
+    def peek(self, nbytes: int) -> bytes:
+        """The next ``nbytes`` (or fewer, at the tail) without consuming."""
+        size = self._size
+        if nbytes > size:
+            nbytes = size
+        if nbytes <= 0:
+            return b""
+        head = self._head
+        first = self._chunks[0]
+        if len(first) - head >= nbytes:
+            return first[head : head + nbytes]
+        parts = []
+        remaining = nbytes
+        for chunk in self._chunks:
+            avail = len(chunk) - head
+            step = avail if avail <= remaining else remaining
+            parts.append(chunk[head : head + step])
+            head = 0
+            remaining -= step
+            if not remaining:
+                break
+        return b"".join(parts)
+
+    def skip(self, nbytes: int) -> int:
+        """Consume up to ``nbytes`` without assembling them; returns the
+        number of bytes skipped (header consumption in frame parsers)."""
+        size = self._size
+        if nbytes > size:
+            nbytes = size
+        if nbytes <= 0:
+            return 0
+        chunks = self._chunks
+        head = self._head
+        remaining = nbytes
+        while remaining:
+            first = chunks[0]
+            avail = len(first) - head
+            if avail <= remaining:
+                chunks.popleft()
+                head = 0
+                remaining -= avail
+            else:
+                head += remaining
+                remaining = 0
+        self._head = head
+        self._size = size - nbytes
+        return nbytes
+
+    def clear(self) -> None:
+        self._chunks.clear()
+        self._head = 0
+        self._size = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ByteRing {self._size}B in {len(self._chunks)} chunks>"

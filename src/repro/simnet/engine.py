@@ -2,7 +2,7 @@
 
 A deliberately small, dependency-free engine in the style of SimPy:
 
-* :class:`Simulator` owns the virtual clock and the event heap.
+* :class:`Simulator` owns the virtual clock and the timer structures.
 * :class:`SimEvent` is a one-shot completion token carrying a value (or an
   exception) plus a list of callbacks.
 * :class:`Timeout` is an event that fires after a fixed virtual delay.
@@ -16,12 +16,38 @@ The engine is fully deterministic: events scheduled for the same virtual
 time fire in FIFO order of scheduling (a monotonically increasing sequence
 number breaks ties), and the only randomness anywhere in :mod:`repro.simnet`
 comes from explicitly seeded generators owned by the network models.
+
+Scheduling internals
+--------------------
+
+The kernel used to be a single monolithic ``heapq``; at grid scale (hundreds
+of booted hosts, thousands of concurrent timers) the heap churns on three
+workloads that have cheaper homes:
+
+* **same-timestamp completions** — the vast majority of entries are
+  triggered events and zero-delay callbacks that fire *now*; they live in a
+  plain FIFO deque (:attr:`Simulator._ready`) and never touch the heap;
+* **near-future timers** — entries within the wheel horizon go into a
+  hierarchical timer wheel (:attr:`Simulator._buckets`): per-bucket append
+  is O(1) and each bucket is sorted once when its turn comes (sorting one
+  small, mostly-ordered bucket is far cheaper than maintaining a global
+  heap invariant per event);
+* **far-future timers** — everything past the horizon waits in an overflow
+  heap and is re-bucketed wheel-window by wheel-window.
+
+Every scheduling call returns a :class:`TimerHandle`; cancellation is lazy
+(the handle is flagged and skipped when its slot drains) so cancelling is
+O(1) and dead entries no longer churn the queue.  The executed order is the
+exact ``(when, seq)`` order of the historical heap kernel —
+:class:`ReferenceSimulator` keeps that original scheduler alive as an
+executable specification, and the tier-1 suite asserts trace equality
+between the two on recorded scenarios.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 
@@ -29,6 +55,86 @@ class SimulationError(RuntimeError):
     """Raised for misuse of the simulation kernel (double-firing an event,
     yielding a non-event from a process, running a simulator with no events
     while waiting for a condition, ...)."""
+
+
+#: :class:`TimerHandle` lifecycle states.
+_PENDING, _FIRED, _CANCELLED = 0, 1, 2
+
+class TimerHandle:
+    """One scheduled callback, cancellable in O(1).
+
+    Returned by :meth:`Simulator.call_later` / :meth:`Simulator.call_at`.
+    :meth:`cancel` flags the entry and drops the callback references
+    immediately; the slot itself is removed lazily when the wheel (or the
+    overflow heap) drains past it, so cancellation never has to search a
+    queue.  Handles order by ``(when, seq)`` — the engine-wide total order.
+    """
+
+    __slots__ = ("when", "seq", "sim", "fn", "args", "_state")
+
+    def __init__(self, when: float, seq: int, sim: "Simulator", fn: Callable, args: tuple):
+        self.when = when
+        self.seq = seq
+        self.sim = sim
+        self.fn = fn
+        self.args = args
+        self._state = _PENDING
+
+    @property
+    def cancelled(self) -> bool:
+        return self._state == _CANCELLED
+
+    @property
+    def fired(self) -> bool:
+        return self._state == _FIRED
+
+    def cancel(self) -> bool:
+        """Cancel the entry; True if it was still pending."""
+        if self._state != _PENDING:
+            return False
+        self._state = _CANCELLED
+        self.fn = None
+        self.args = None
+        sim = self.sim
+        sim._live -= 1
+        sim._cancellations += 1
+        return True
+
+    def __lt__(self, other: "TimerHandle") -> bool:
+        if self.when != other.when:
+            return self.when < other.when
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = ("pending", "fired", "cancelled")[self._state]
+        return f"<TimerHandle t={self.when:g} #{self.seq} {state}>"
+
+
+class SimStats:
+    """Counter snapshot returned by :meth:`Simulator.stats`."""
+
+    __slots__ = (
+        "events_processed",
+        "timers_scheduled",
+        "cancellations",
+        "peak_pending",
+        "wheel_rebuilds",
+    )
+
+    def __init__(self, events_processed: int, timers_scheduled: int, cancellations: int,
+                 peak_pending: int, wheel_rebuilds: int):
+        self.events_processed = events_processed
+        self.timers_scheduled = timers_scheduled
+        self.cancellations = cancellations
+        self.peak_pending = peak_pending
+        self.wheel_rebuilds = wheel_rebuilds
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"<SimStats {inner}>"
 
 
 class SimEvent:
@@ -40,7 +146,9 @@ class SimEvent:
     event is processed by the simulator loop, in registration order.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_exc", "_triggered", "_processed", "name")
+    #: ``seq`` is stamped by the simulator when the event triggers (it
+    #: orders the ready FIFO against due timers); unset while pending.
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "_triggered", "_processed", "name", "seq")
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
@@ -114,6 +222,20 @@ class SimEvent:
         else:
             self.callbacks.append(fn)
 
+    def remove_callback(self, fn: Callable[["SimEvent"], None]) -> bool:
+        """Detach a callback registered with :meth:`add_callback`.
+
+        Returns True if it was found.  Used by :meth:`Process.interrupt` to
+        abandon the event the process was waiting on: without the removal, a
+        later firing of the abandoned event would re-enter the generator at
+        the wrong yield point.
+        """
+        try:
+            self.callbacks.remove(fn)
+            return True
+        except ValueError:
+            return False
+
     def chain(self, other: "SimEvent") -> "SimEvent":
         """Propagate this event's outcome into ``other`` when it fires."""
 
@@ -141,7 +263,7 @@ class Timeout(SimEvent):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None, name: str = ""):
         if delay < 0:
             raise SimulationError(f"negative timeout: {delay!r}")
-        super().__init__(sim, name=name or f"timeout({delay:g})")
+        super().__init__(sim, name=name or "timeout")
         self.delay = float(delay)
         sim.call_later(delay, self._fire, value)
 
@@ -186,11 +308,15 @@ class Process(SimEvent):
             return
         target = self._waiting_on
         self._waiting_on = None
+        # Abandon the event we were waiting on: if it fires later it must
+        # not resume the generator at the (by then stale) yield point.
+        if target is not None:
+            target.remove_callback(self._resume)
         # Deliver asynchronously so we do not re-enter the generator from
         # arbitrary stacks.
-        self.sim.call_later(0.0, self._throw, Interrupt(cause), target)
+        self.sim.call_later(0.0, self._throw, Interrupt(cause))
 
-    def _throw(self, exc: BaseException, stale_target: Optional[SimEvent]) -> None:
+    def _throw(self, exc: BaseException) -> None:
         if self._triggered:
             return
         try:
@@ -245,11 +371,11 @@ class PeriodicTask:
     The engine-level helper behind simulator *processes* that only need a
     fixed-rate tick (active link probes, estimator push loops): cheaper than
     a full generator process and explicitly cancellable.  Note that a live
-    periodic task keeps the event heap non-empty, so ``run(until=None)``
+    periodic task keeps the timer queue non-empty, so ``run(until=None)``
     will not terminate until every periodic task has been cancelled.
     """
 
-    __slots__ = ("sim", "interval", "fn", "args", "cancelled", "runs")
+    __slots__ = ("sim", "interval", "fn", "args", "cancelled", "runs", "_handle")
 
     def __init__(self, sim: "Simulator", interval: float, fn: Callable, *args: Any):
         if interval <= 0:
@@ -260,18 +386,26 @@ class PeriodicTask:
         self.args = args
         self.cancelled = False
         self.runs = 0
-        sim.call_later(self.interval, self._tick)
+        self._handle: Optional[TimerHandle] = sim.call_later(self.interval, self._tick)
 
     def _tick(self) -> None:
         if self.cancelled:
             return
         self.fn(*self.args)
         self.runs += 1
-        self.sim.call_later(self.interval, self._tick)
+        # the callback may have cancelled the task (self-stopping probes):
+        # rescheduling then would leave an uncancellable dead tick
+        if not self.cancelled:
+            self._handle = self.sim.call_later(self.interval, self._tick)
 
     def cancel(self) -> None:
-        """Stop the task; the currently scheduled tick becomes a no-op."""
+        """Stop the task and remove the scheduled tick from the queue."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        handle, self._handle = self._handle, None
+        if handle is not None:
+            handle.cancel()
 
 
 class AllOf(SimEvent):
@@ -321,15 +455,57 @@ class AnyOf(SimEvent):
         else:
             self.fail(ev.value)
 
-
 class Simulator:
-    """The event loop: a virtual clock plus a time-ordered event heap."""
+    """The event loop: a virtual clock plus the timer wheel.
 
-    def __init__(self) -> None:
+    ``wheel_width`` (seconds per bucket) and ``wheel_buckets`` define the
+    near-future horizon ``wheel_width * wheel_buckets``; timers past the
+    horizon wait in the overflow heap and are re-bucketed one window at a
+    time.  The defaults (64 µs x 512 = ~33 ms) fit the simulated stacks:
+    per-message software costs and LAN round trips land in the wheel while
+    probe intervals and WAN timeouts ride the overflow heap.
+
+    Internally every structure stores ``(when, seq, handle)`` triples so all
+    ordering comparisons run as C tuple compares; triggered events skip the
+    timer structures entirely and ride the ``_ready`` FIFO as
+    ``(seq, event)`` pairs.
+    """
+
+    def __init__(self, *, wheel_width: float = 64e-6, wheel_buckets: int = 512) -> None:
+        if wheel_width <= 0.0 or wheel_buckets < 1:
+            raise SimulationError("wheel_width must be positive and wheel_buckets >= 1")
         self._now = 0.0
-        self._heap: List = []
-        self._counter = itertools.count()
+        self._seq = 0
         self._stopped = False
+        # same-timestamp FIFO: (seq, SimEvent) for triggered events and
+        # (seq, TimerHandle) for zero-delay callbacks, in seq order
+        self._ready: deque = deque()
+        # timer wheel: the bucket at `_cursor` is drained through `_batch`
+        self._width = float(wheel_width)
+        self._inv_width = 1.0 / float(wheel_width)
+        self._nbuckets = int(wheel_buckets)
+        self._span = self._width * self._nbuckets
+        self._buckets: List[List] = [[] for _ in range(self._nbuckets)]
+        self._wheel_count = 0
+        self._epoch: Optional[float] = None  # None: wheel idle, overflow holds all timers
+        self._cursor = -1
+        self._batch: List = []
+        self._batch_pos = 0
+        # sub-bucket-width delays scheduled while their bucket drains
+        self._imminent: List = []
+        self._head_imminent = False
+        # far-future timers: (when, seq, handle) beyond the wheel window
+        self._overflow: List = []
+        # bumped whenever a timer lands in a timer structure, so the run
+        # loop's cached head knows to re-pull
+        self._timer_gen = 0
+        # counters (see stats())
+        self._live = 0
+        self._events_processed = 0
+        self._timers_scheduled = 0
+        self._cancellations = 0
+        self._peak_pending = 0
+        self._wheel_rebuilds = 0
 
     # -- clock ------------------------------------------------------------
     @property
@@ -361,20 +537,26 @@ class Simulator:
         return AnyOf(self, events)
 
     # -- scheduling --------------------------------------------------------
-    def call_later(self, delay: float, fn: Callable, *args: Any) -> None:
-        """Run ``fn(*args)`` after ``delay`` virtual seconds."""
+    def call_later(self, delay: float, fn: Callable, *args: Any) -> TimerHandle:
+        """Run ``fn(*args)`` after ``delay`` virtual seconds; cancellable."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay!r})")
-        heapq.heappush(self._heap, (self._now + delay, next(self._counter), fn, args))
+        return self._schedule(self._now + delay, fn, args)
 
-    def call_at(self, when: float, fn: Callable, *args: Any) -> None:
-        """Run ``fn(*args)`` at absolute virtual time ``when``."""
+    def call_at(self, when: float, fn: Callable, *args: Any) -> TimerHandle:
+        """Run ``fn(*args)`` at absolute virtual time ``when``; cancellable."""
         if when < self._now:
             raise SimulationError(f"cannot schedule in the past (t={when!r} < now={self._now!r})")
-        heapq.heappush(self._heap, (when, next(self._counter), fn, args))
+        return self._schedule(when, fn, args)
 
     def _push_triggered(self, ev: SimEvent) -> None:
-        heapq.heappush(self._heap, (self._now, next(self._counter), self._process_event, (ev,)))
+        # fast path: a triggered event is processed at the current timestamp
+        # and is not cancellable — no TimerHandle, no timer structure.
+        ev.seq = self._seq = self._seq + 1
+        live = self._live = self._live + 1
+        if live > self._peak_pending:
+            self._peak_pending = live
+        self._ready.append(ev)
 
     @staticmethod
     def _process_event(ev: SimEvent) -> None:
@@ -383,16 +565,174 @@ class Simulator:
         for fn in callbacks:
             fn(ev)
 
+    def _schedule(self, when: float, fn: Callable, args: tuple) -> TimerHandle:
+        seq = self._seq = self._seq + 1
+        handle = TimerHandle(when, seq, self, fn, args)
+        live = self._live = self._live + 1
+        if live > self._peak_pending:
+            self._peak_pending = live
+        self._timers_scheduled += 1
+        if when <= self._now:
+            # fires at the current timestamp: FIFO deque, no heap traffic
+            self._ready.append(handle)
+            return handle
+        self._timer_gen += 1
+        epoch = self._epoch
+        if epoch is not None:
+            idx = int((when - epoch) * self._inv_width)
+            if idx <= self._cursor:
+                # lands inside the bucket currently being drained (delays
+                # shorter than the bucket width: layering costs, dispatch
+                # delays).  A dedicated small heap keeps this O(log m)
+                # whatever the batch size.
+                heapq.heappush(self._imminent, (when, seq, handle))
+            elif idx < self._nbuckets:
+                self._buckets[idx].append((when, seq, handle))
+                self._wheel_count += 1
+            else:
+                heapq.heappush(self._overflow, (when, seq, handle))
+        else:
+            heapq.heappush(self._overflow, (when, seq, handle))
+        return handle
+
+    # -- timer-wheel internals ---------------------------------------------
+    def _pop_timer(self) -> None:
+        """Remove the triple last returned by :meth:`_pull` from its home."""
+        if self._head_imminent:
+            heapq.heappop(self._imminent)
+        else:
+            self._batch_pos += 1
+
+    def _pull(self) -> Optional[tuple]:
+        """The next live timer triple in (when, seq) order, or None.  The
+        triple is left in place; pop it with :meth:`_pop_timer`."""
+        imminent = self._imminent
+        while imminent and imminent[0][2]._state != _PENDING:
+            heapq.heappop(imminent)
+        while True:
+            batch = self._batch
+            pos = self._batch_pos
+            size = len(batch)
+            while pos < size:
+                triple = batch[pos]
+                if triple[2]._state == _PENDING:
+                    self._batch_pos = pos
+                    if imminent and imminent[0] < triple:
+                        self._head_imminent = True
+                        return imminent[0]
+                    self._head_imminent = False
+                    return triple
+                pos += 1
+            self._batch_pos = pos
+            if imminent:
+                # everything in `imminent` precedes every future bucket
+                self._head_imminent = True
+                return imminent[0]
+            if self._wheel_count:
+                cursor = self._cursor + 1
+                buckets = self._buckets
+                nbuckets = self._nbuckets
+                while cursor < nbuckets and not buckets[cursor]:
+                    cursor += 1
+                if cursor < nbuckets:
+                    self._cursor = cursor
+                    bucket = buckets[cursor]
+                    buckets[cursor] = []
+                    self._wheel_count -= len(bucket)
+                    bucket.sort()
+                    self._batch = bucket
+                    self._batch_pos = 0
+                    continue
+                self._wheel_count = 0  # pragma: no cover - defensive resync
+            # wheel exhausted: build the next window around the overflow head
+            overflow = self._overflow
+            while overflow and overflow[0][2]._state != _PENDING:
+                heapq.heappop(overflow)
+            if not overflow:
+                self._epoch = None
+                self._cursor = -1
+                self._batch = []
+                self._batch_pos = 0
+                return None
+            epoch = overflow[0][0]
+            window_end = epoch + self._span
+            self._epoch = epoch
+            self._cursor = -1
+            self._wheel_rebuilds += 1
+            buckets = self._buckets
+            nbuckets = self._nbuckets
+            inv_width = self._inv_width
+            count = 0
+            while overflow and overflow[0][0] < window_end:
+                triple = heapq.heappop(overflow)
+                if triple[2]._state != _PENDING:
+                    continue
+                idx = int((triple[0] - epoch) * inv_width)
+                if idx >= nbuckets:  # pragma: no cover - float boundary guard
+                    idx = nbuckets - 1
+                buckets[idx].append(triple)
+                count += 1
+            self._wheel_count = count
+            self._batch = []
+            self._batch_pos = 0
+
+    def _execute_ready(self, item) -> None:
+        """Run one ``_ready`` entry (SimEvent or zero-delay TimerHandle)."""
+        self._live -= 1
+        self._events_processed += 1
+        if item.__class__ is TimerHandle:
+            item._state = _FIRED
+            fn = item.fn
+            args = item.args
+            item.fn = None
+            item.args = None
+            fn(*args)
+        else:
+            item._processed = True
+            callbacks, item.callbacks = item.callbacks, []
+            for fn in callbacks:
+                fn(item)
+
+    def _execute_timer(self, handle: TimerHandle) -> None:
+        when = handle.when
+        if when > self._now:
+            self._now = when
+        handle._state = _FIRED
+        fn = handle.fn
+        args = handle.args
+        handle.fn = None
+        handle.args = None
+        self._live -= 1
+        self._events_processed += 1
+        fn(*args)
+
+    def _next_ready(self):
+        """The live head of the same-timestamp FIFO, or None."""
+        ready = self._ready
+        while ready:
+            item = ready[0]
+            if item.__class__ is not TimerHandle or item._state == _PENDING:
+                return item
+            ready.popleft()
+        return None
+
     # -- main loop ---------------------------------------------------------
     def step(self) -> bool:
-        """Run one scheduled entry.  Returns False when the heap is empty."""
-        if not self._heap:
+        """Run one scheduled entry.  Returns False when nothing is pending."""
+        ready_head = self._next_ready()
+        timer_head = self._pull()
+        if ready_head is not None and (
+            timer_head is None
+            or self._now < timer_head[0]
+            or (self._now == timer_head[0] and ready_head.seq < timer_head[1])
+        ):
+            self._ready.popleft()
+            self._execute_ready(ready_head)
+            return True
+        if timer_head is None:
             return False
-        when, _, fn, args = heapq.heappop(self._heap)
-        if when < self._now - 1e-15:  # pragma: no cover - defensive
-            raise SimulationError("time went backwards")
-        self._now = max(self._now, when)
-        fn(*args)
+        self._pop_timer()
+        self._execute_timer(timer_head[2])
         return True
 
     def run(self, until: Optional[Any] = None, max_time: Optional[float] = None) -> Any:
@@ -417,23 +757,64 @@ class Simulator:
         elif until is not None:
             target_time = float(until)
 
+        # The loop interleaves the same-timestamp FIFO with due timers in
+        # exact (when, seq) order.  The next-timer triple is cached across
+        # ready-FIFO drains: executed events can only add timers through
+        # `_schedule`, which bumps `_timer_gen`, and cancellations are
+        # caught by the handle-state check.
+        ready = self._ready
+        timer = None
+        timer_gen = -1
         while not self._stopped:
-            if target_event is not None and target_event.processed:
+            if target_event is not None and target_event._processed:
                 break
-            if not self._heap:
+            if timer is None or timer_gen != self._timer_gen or timer[2]._state != _PENDING:
+                timer = self._pull()
+                timer_gen = self._timer_gen
+            if ready:
+                item = ready[0]
+                is_handle = item.__class__ is TimerHandle
+                if is_handle and item._state != _PENDING:
+                    ready.popleft()
+                    continue
+                if (
+                    timer is None
+                    or self._now < timer[0]
+                    or (self._now == timer[0] and item.seq < timer[1])
+                ):
+                    ready.popleft()
+                    self._live -= 1
+                    self._events_processed += 1
+                    if is_handle:
+                        item._state = _FIRED
+                        fn = item.fn
+                        args = item.args
+                        item.fn = None
+                        item.args = None
+                        fn(*args)
+                    else:
+                        item._processed = True
+                        callbacks = item.callbacks
+                        item.callbacks = []
+                        for fn in callbacks:
+                            fn(item)
+                    continue
+            if timer is None:
                 if target_event is not None and not target_event.triggered:
                     raise SimulationError(
                         f"simulation ran out of events while waiting for {target_event!r} "
                         "(deadlock: nobody will ever trigger it)"
                     )
                 break
-            next_when = self._heap[0][0]
-            if target_time is not None and next_when > target_time:
+            when = timer[0]
+            if target_time is not None and when > target_time:
                 self._now = target_time
                 break
-            if max_time is not None and next_when > max_time:
+            if max_time is not None and when > max_time:
                 raise SimulationError(f"virtual time exceeded max_time={max_time}")
-            self.step()
+            self._pop_timer()
+            self._execute_timer(timer[2])
+            timer = None
 
         if target_event is not None and target_event.triggered:
             if target_event.ok:
@@ -445,6 +826,101 @@ class Simulator:
         """Stop :meth:`run` at the next iteration (used by watchdogs)."""
         self._stopped = True
 
+    # -- introspection -----------------------------------------------------
     def pending_count(self) -> int:
-        """Number of scheduled entries still in the heap."""
-        return len(self._heap)
+        """Number of *live* scheduled entries (cancelled entries awaiting
+        lazy deletion are not counted)."""
+        return self._live
+
+    def stats(self) -> SimStats:
+        """Kernel counters: events processed, timers scheduled, cancellations,
+        peak pending entries, wheel-window rebuilds."""
+        return SimStats(
+            events_processed=self._events_processed,
+            timers_scheduled=self._timers_scheduled,
+            cancellations=self._cancellations,
+            peak_pending=self._peak_pending,
+            wheel_rebuilds=self._wheel_rebuilds,
+        )
+
+
+class ReferenceSimulator(Simulator):
+    """The historical monolithic-heap scheduler, kept as an executable
+    ordering specification.
+
+    Everything — zero-delay callbacks, triggered events, near and far
+    timers — goes through one ``heapq`` ordered by ``(when, seq)``, exactly
+    like the pre-wheel kernel.  The tier-1 determinism tests run recorded
+    scenarios on both schedulers and assert trace equality; the scale
+    benchmark uses it to quantify the wheel's gain on identical workloads.
+    Cancellation is honoured (dead entries are skipped when popped) so the
+    two kernels accept the same API.
+    """
+
+    def __init__(self, *, wheel_width: float = 64e-6, wheel_buckets: int = 512) -> None:
+        super().__init__(wheel_width=wheel_width, wheel_buckets=wheel_buckets)
+        self._heap: List = []
+
+    def _push_triggered(self, ev: SimEvent) -> None:
+        self._schedule(self._now, self._process_event, (ev,))
+
+    def _schedule(self, when: float, fn: Callable, args: tuple) -> TimerHandle:
+        seq = self._seq = self._seq + 1
+        handle = TimerHandle(when, seq, self, fn, args)
+        live = self._live = self._live + 1
+        if live > self._peak_pending:
+            self._peak_pending = live
+        self._timers_scheduled += 1
+        heapq.heappush(self._heap, (when, seq, handle))
+        return handle
+
+    def _peek_live(self) -> Optional[TimerHandle]:
+        heap = self._heap
+        while heap:
+            handle = heap[0][2]
+            if handle._state == _PENDING:
+                return handle
+            heapq.heappop(heap)
+        return None
+
+    def step(self) -> bool:
+        handle = self._peek_live()
+        if handle is None:
+            return False
+        heapq.heappop(self._heap)
+        self._execute_timer(handle)
+        return True
+
+    def run(self, until: Optional[Any] = None, max_time: Optional[float] = None) -> Any:
+        self._stopped = False
+        target_event: Optional[SimEvent] = None
+        target_time: Optional[float] = None
+        if isinstance(until, SimEvent):
+            target_event = until
+        elif until is not None:
+            target_time = float(until)
+
+        while not self._stopped:
+            if target_event is not None and target_event._processed:
+                break
+            head = self._peek_live()
+            if head is None:
+                if target_event is not None and not target_event.triggered:
+                    raise SimulationError(
+                        f"simulation ran out of events while waiting for {target_event!r} "
+                        "(deadlock: nobody will ever trigger it)"
+                    )
+                break
+            if target_time is not None and head.when > target_time:
+                self._now = target_time
+                break
+            if max_time is not None and head.when > max_time:
+                raise SimulationError(f"virtual time exceeded max_time={max_time}")
+            heapq.heappop(self._heap)
+            self._execute_timer(head)
+
+        if target_event is not None and target_event.triggered:
+            if target_event.ok:
+                return target_event.value
+            raise target_event.value
+        return None

@@ -266,3 +266,84 @@ class Loopback(Network):
 def standard_cluster_networks(sim: "Simulator"):
     """Convenience: the two intra-cluster networks of the paper's platform."""
     return Myrinet2000(sim), Ethernet100(sim)
+
+
+class GridDeployment:
+    """Handles onto a deployment built by :func:`grid_deployment`."""
+
+    def __init__(self):
+        self.clusters = []       # [[Host, ...]] row-major, gateway first
+        self.gateways = []       # [Host] one per cluster, row-major
+        self.lans = []           # [Ethernet100] one per cluster
+        self.wans = []           # [WanVthd] grid links (right, then down, per cell)
+        self.wan_pairs = []      # [(gateway_a, gateway_b)] aligned with `wans`
+
+    @property
+    def hosts(self):
+        return [h for cluster in self.clusters for h in cluster]
+
+
+def grid_deployment(
+    framework,
+    *,
+    rows: int = 2,
+    cols: int = 2,
+    hosts_per_cluster: int = 8,
+    seed: int = 9000,
+) -> GridDeployment:
+    """Build a ``rows x cols`` grid of Ethernet clusters on ``framework``.
+
+    The scale testbed behind ``benchmarks/test_engine_scale.py``: each grid
+    cell is a cluster of ``hosts_per_cluster`` hosts on a private
+    :class:`Ethernet100` LAN; the first host of every cluster doubles as the
+    cluster gateway and is linked to the gateways of its right and down
+    neighbours through dedicated :class:`WanVthd` paths.  Traffic between
+    clusters therefore has to relay through gateways, which is exactly the
+    multi-hop byte path the routing subsystem (PR 1) produces.
+
+    ``framework`` is duck-typed (``add_host`` / ``add_network``) so this
+    module stays independent of :mod:`repro.core`.  Total host count is
+    ``rows * cols * hosts_per_cluster``; 200- and 1000-host deployments are
+    ``(5, 5, 8)`` and ``(5, 10, 20)``.
+    """
+    if rows < 1 or cols < 1 or hosts_per_cluster < 1:
+        raise ValueError("grid_deployment needs positive rows/cols/hosts_per_cluster")
+    grid = GridDeployment()
+    sim = framework.sim
+    gateway_grid = {}
+    for r in range(rows):
+        for c in range(cols):
+            site = f"g{r}x{c}"
+            hosts = [
+                framework.add_host(f"{site}n{i:02d}", site=site)
+                for i in range(hosts_per_cluster)
+            ]
+            lan = framework.add_network(
+                Ethernet100(sim, f"lan-{site}", seed=seed + 7 * (r * cols + c))
+            )
+            for h in hosts:
+                lan.connect(h)
+            grid.clusters.append(hosts)
+            grid.lans.append(lan)
+            grid.gateways.append(hosts[0])
+            gateway_grid[(r, c)] = hosts[0]
+    for r in range(rows):
+        for c in range(cols):
+            here = gateway_grid[(r, c)]
+            for dr, dc, tag in ((0, 1, "e"), (1, 0, "s")):
+                nr, nc = r + dr, c + dc
+                if nr >= rows or nc >= cols:
+                    continue
+                there = gateway_grid[(nr, nc)]
+                wan = framework.add_network(
+                    WanVthd(
+                        sim,
+                        f"wan-g{r}x{c}{tag}",
+                        seed=seed + 1000 + 13 * (r * cols + c) + (0 if tag == "e" else 1),
+                    )
+                )
+                wan.connect(here)
+                wan.connect(there)
+                grid.wans.append(wan)
+                grid.wan_pairs.append((here, there))
+    return grid

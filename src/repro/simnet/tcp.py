@@ -24,9 +24,11 @@ from __future__ import annotations
 
 import itertools
 import random
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import Callable, Deque, Dict, List, Optional, Tuple, TYPE_CHECKING
 
+from repro.simnet.buffers import ByteRing
 from repro.simnet.cost import Cost, KB
 from repro.simnet.network import Delivery, Network, PARADIGM_DISTRIBUTED
 
@@ -327,10 +329,10 @@ class TcpConnection:
         self.ssthresh = stack.model.initial_ssthresh
         self._rng = random.Random((network.rng.randint(0, 1 << 30) << 8) ^ self.conn_id)
 
-        self._sendq: List[List] = []  # entries: [memoryview, offset, done_event]
+        self._sendq: Deque[List] = deque()  # entries: [memoryview, offset, done_event, total]
         self._pumping = False
-        self._rx_buffer = bytearray()
-        self._pending_reads: List[Tuple[Optional[int], bool, "SimEvent"]] = []
+        self._rx_buffer = ByteRing()
+        self._pending_reads: Deque[Tuple[Optional[int], bool, "SimEvent"]] = deque()
         self._data_callback: Optional[Callable[["TcpConnection"], None]] = None
         self._close_callback: Optional[Callable[["TcpConnection"], None]] = None
 
@@ -338,6 +340,10 @@ class TcpConnection:
         self.bytes_received = 0
         self.retransmitted_bytes = 0
         self.rounds = 0
+        # receive-side cursor serializing segment appends: a later smaller
+        # segment's cheaper kernel-side processing must never let its bytes
+        # overtake an earlier larger one — this is a byte stream.
+        self._last_rx_ready = 0.0
 
     # -- introspection --------------------------------------------------------
     @property
@@ -361,11 +367,16 @@ class TcpConnection:
             raise TcpError("send() on closed connection")
         if not self.established:
             raise TcpError("send() before the connection is established")
-        done = self.sim.event(name=f"tcp-send({len(data)}B)")
+        done = self.sim.event(name="tcp-send")
         if len(data) == 0:
             done.succeed(0)
             return done
-        self._sendq.append([memoryview(bytes(data)), 0, done, len(data)])
+        # `bytes` payloads are aliased, not copied (the queue only reads);
+        # anything else is snapshotted — a readonly memoryview can still
+        # expose a mutable backing store (memoryview(bytearray).toreadonly())
+        if type(data) is not bytes:
+            data = bytes(data)
+        self._sendq.append([memoryview(data), 0, done, len(data)])
         if not self._pumping:
             self._pumping = True
             # Charge the send()-side kernel crossing and user->kernel copy once
@@ -381,26 +392,29 @@ class TcpConnection:
             self._pumping = False
             return
         window = min(self.cwnd, self.stack.model.receive_window)
-        burst = bytearray()
+        # Gather up to one window of bytes from the head of the send queue
+        # as zero-copy slices; they are joined at most once below.
+        parts: List[memoryview] = []
+        attempted = 0
         finishing: List[Tuple["SimEvent", int]] = []
-        # Assemble up to one window of bytes from the head of the send queue.
-        while self._sendq and len(burst) < window:
+        while self._sendq and attempted < window:
             entry = self._sendq[0]
-            view, offset, done, total = entry
-            take = min(window - len(burst), len(view) - offset)
-            burst += view[offset : offset + take]
+            view, offset = entry[0], entry[1]
+            take = min(window - attempted, len(view) - offset)
+            parts.append(view[offset : offset + take])
             entry[1] = offset + take
+            attempted += take
             if entry[1] >= len(view):
-                self._sendq.pop(0)
-                finishing.append((done, total))
-        attempted = len(burst)
+                self._sendq.popleft()
+                finishing.append((entry[2], entry[3]))
         npkts = self.network.packets_for(attempted)
         lost_pkts = self._draw_losses(npkts)
         delivered = attempted if lost_pkts == 0 else max(0, attempted - lost_pkts * self.mss)
         self.rounds += 1
 
+        burst = parts[0] if len(parts) == 1 else memoryview(b"".join(parts))
         if delivered > 0:
-            payload = bytes(burst[:delivered])
+            payload = burst if delivered == attempted else burst[:delivered]
             frame = self.network.transmit(
                 self.host,
                 self.peer_host,
@@ -419,9 +433,9 @@ class TcpConnection:
             self.retransmitted_bytes += undelivered
             # Put the unsent suffix back at the head of the queue, preserving
             # per-send completion bookkeeping.
-            leftover = bytes(burst[delivered:])
-            requeue = [memoryview(leftover), 0, None, len(leftover)]
-            self._sendq.insert(0, requeue)
+            leftover = burst[delivered:]
+            requeue = [leftover, 0, None, len(leftover)]
+            self._sendq.appendleft(requeue)
             # Completion events for sends whose tail was cut must be deferred:
             # move them onto the requeued entry.
             if finishing:
@@ -492,17 +506,20 @@ class TcpConnection:
             delivery.frame.nbytes, self.host.cpu.memcpy_bandwidth, "tcp.recv.copy"
         )
         # Enqueue the bytes once the kernel-side processing time has elapsed.
-        self.sim.call_at(delivery.ready_time(), self._append_rx, delivery.payload)
+        ready = max(delivery.ready_time(), self._last_rx_ready)
+        self._last_rx_ready = ready
+        self.sim.call_at(ready, self._append_rx, delivery.payload)
 
     def _append_rx(self, payload: bytes) -> None:
-        self._rx_buffer += payload
+        self._rx_buffer.append(payload)
         self.bytes_received += len(payload)
         self._satisfy_reads()
-        if self._data_callback is not None and len(self._rx_buffer) > 0:
+        if self._data_callback is not None and self._rx_buffer:
             self._data_callback(self)
 
     def _on_fin(self, delivery: Delivery) -> None:
-        self.sim.call_at(delivery.ready_time(), self._do_close_passive)
+        # the close must not overtake data segments still being processed
+        self.sim.call_at(max(delivery.ready_time(), self._last_rx_ready), self._do_close_passive)
 
     def _do_close_passive(self) -> None:
         if self.closed:
@@ -513,15 +530,15 @@ class TcpConnection:
             self._close_callback(self)
 
     def _satisfy_reads(self) -> None:
-        while self._pending_reads and self._rx_buffer:
-            nbytes, exact, ev = self._pending_reads[0]
-            if exact and nbytes is not None and len(self._rx_buffer) < nbytes:
+        buffer = self._rx_buffer
+        pending = self._pending_reads
+        while pending and buffer._size:
+            nbytes, exact, ev = pending[0]
+            if exact and nbytes is not None and buffer._size < nbytes:
                 return
-            self._pending_reads.pop(0)
-            take = len(self._rx_buffer) if nbytes is None else min(nbytes, len(self._rx_buffer))
-            chunk = bytes(self._rx_buffer[:take])
-            del self._rx_buffer[:take]
-            if not ev.triggered:
+            pending.popleft()
+            chunk = buffer.take(nbytes)
+            if not ev._triggered:
                 ev.succeed(chunk)
 
     def set_data_callback(self, fn: Optional[Callable[["TcpConnection"], None]]) -> None:
@@ -539,10 +556,7 @@ class TcpConnection:
 
     def read_available(self, limit: Optional[int] = None) -> bytes:
         """Non-blocking read of whatever is buffered (up to ``limit``)."""
-        take = len(self._rx_buffer) if limit is None else min(limit, len(self._rx_buffer))
-        chunk = bytes(self._rx_buffer[:take])
-        del self._rx_buffer[:take]
-        return chunk
+        return self._rx_buffer.take(limit)
 
     def recv(self, nbytes: Optional[int] = None) -> "SimEvent":
         """Event completing with at least one byte (up to ``nbytes``)."""
@@ -553,7 +567,7 @@ class TcpConnection:
         return self._queue_read(nbytes, exact=True)
 
     def _queue_read(self, nbytes: Optional[int], exact: bool) -> "SimEvent":
-        ev = self.sim.event(name=f"tcp-recv({nbytes})")
+        ev = self.sim.event(name="tcp-recv")
         if self.closed and not self._rx_buffer:
             ev.fail(TcpError("recv() on closed connection"))
             return ev
@@ -579,7 +593,7 @@ class TcpConnection:
         self._fail_pending()
 
     def _fail_pending(self) -> None:
-        pending, self._pending_reads = self._pending_reads, []
+        pending, self._pending_reads = self._pending_reads, deque()
         for _, _, ev in pending:
             if not ev.triggered:
                 if self._rx_buffer:

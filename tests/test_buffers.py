@@ -1,0 +1,156 @@
+"""Unit tests for the zero-copy byte ring."""
+
+import pytest
+
+from repro.simnet.buffers import ByteRing
+
+
+def test_empty_ring():
+    ring = ByteRing()
+    assert len(ring) == 0
+    assert not ring
+    assert ring.take() == b""
+    assert ring.take(10) == b""
+    assert ring.peek(10) == b""
+    assert ring.skip(10) == 0
+
+
+def test_zero_length_operations():
+    ring = ByteRing(b"abc")
+    assert ring.take(0) == b""
+    assert ring.peek(0) == b""
+    assert ring.skip(0) == 0
+    ring.append(b"")  # no-op
+    assert len(ring) == 3
+    assert ring.take() == b"abc"
+
+
+def test_take_within_single_chunk():
+    ring = ByteRing(b"hello world")
+    assert ring.take(5) == b"hello"
+    assert len(ring) == 6
+    assert ring.take(1) == b" "
+    assert ring.take() == b"world"
+    assert not ring
+
+
+def test_exact_chunk_take_is_zero_copy():
+    chunk = b"x" * 1024
+    ring = ByteRing()
+    ring.append(chunk)
+    assert ring.take(1024) is chunk  # the original object, no copy
+
+
+def test_cross_boundary_take():
+    ring = ByteRing()
+    ring.append(b"abc")
+    ring.append(b"defg")
+    ring.append(b"hij")
+    assert ring.take(5) == b"abcde"
+    assert ring.take(5) == b"fghij"
+    assert not ring
+
+
+def test_take_more_than_available():
+    ring = ByteRing(b"abc")
+    assert ring.take(100) == b"abc"
+    assert not ring
+
+
+def test_peek_does_not_consume():
+    ring = ByteRing()
+    ring.append(b"abc")
+    ring.append(b"def")
+    assert ring.peek(2) == b"ab"
+    assert ring.peek(4) == b"abcd"  # crosses a chunk boundary
+    assert ring.peek(100) == b"abcdef"
+    assert len(ring) == 6
+    assert ring.take() == b"abcdef"
+
+
+def test_skip_across_boundaries():
+    ring = ByteRing()
+    ring.append(b"abc")
+    ring.append(b"def")
+    ring.append(b"ghi")
+    assert ring.skip(4) == 4
+    assert ring.take() == b"efghi"
+    assert ring.skip(5) == 0
+
+
+def test_skip_partial_chunk():
+    ring = ByteRing(b"abcdef")
+    assert ring.skip(2) == 2
+    assert ring.peek(2) == b"cd"
+    assert ring.skip(100) == 4
+    assert not ring
+
+
+def test_wrap_around_reuse():
+    """Interleaved produce/consume cycles: offsets reset as chunks retire."""
+    ring = ByteRing()
+    out = bytearray()
+    fed = bytearray()
+    for i in range(50):
+        chunk = bytes([i % 251]) * (i % 7 + 1)
+        ring.append(chunk)
+        fed += chunk
+        take = (i * 3) % 5
+        out += ring.take(take)
+    out += ring.take()
+    assert bytes(out) == bytes(fed)
+    assert len(ring) == 0
+    assert ring._head == 0
+
+
+def test_writable_buffers_are_snapshotted():
+    ring = ByteRing()
+    buf = bytearray(b"abc")
+    ring.append(buf)
+    buf[0] = ord("z")  # later mutation must not leak into the ring
+    assert ring.take() == b"abc"
+
+
+def test_memoryview_appends_are_snapshotted():
+    base = bytearray(b"abcdef")
+    ring = ByteRing()
+    ring.append(memoryview(base)[2:5])
+    base[3] = ord("!")
+    assert ring.take() == b"cde"
+
+
+def test_clear():
+    ring = ByteRing(b"abc")
+    ring.clear()
+    assert len(ring) == 0
+    assert ring.take() == b""
+
+
+def test_interleaved_exactness_stress():
+    """Byte-for-byte FIFO order over a randomized append/take/skip mix."""
+    import random
+
+    rng = random.Random(1234)
+    ring = ByteRing()
+    model = bytearray()
+    for _ in range(2000):
+        op = rng.random()
+        if op < 0.45:
+            chunk = bytes(rng.getrandbits(8) for _ in range(rng.randrange(0, 9)))
+            ring.append(chunk)
+            model += chunk
+        elif op < 0.8:
+            n = rng.randrange(0, 12)
+            expect = bytes(model[:n])
+            del model[: len(expect)]
+            assert ring.take(n) == expect
+        elif op < 0.9:
+            n = rng.randrange(0, 12)
+            assert ring.peek(n) == bytes(model[:n])
+        else:
+            n = rng.randrange(0, 12)
+            skipped = ring.skip(n)
+            assert skipped == min(n, len(model))
+            del model[:skipped]
+        assert len(ring) == len(model)
+    assert ring.take() == bytes(model)

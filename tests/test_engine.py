@@ -1,5 +1,7 @@
 """Unit tests for the discrete-event simulation kernel."""
 
+import random
+
 import pytest
 
 from repro.simnet.engine import (
@@ -7,6 +9,7 @@ from repro.simnet.engine import (
     AnyOf,
     Interrupt,
     Process,
+    ReferenceSimulator,
     SimEvent,
     SimulationError,
     Simulator,
@@ -271,3 +274,281 @@ def test_stop_interrupts_run():
     sim.run()
     assert sim.now == pytest.approx(1.0)
     assert sim.pending_count() == 1
+
+
+# ---------------------------------------------------------------------------
+# TimerHandle / cancellation
+# ---------------------------------------------------------------------------
+
+
+def test_call_later_returns_cancellable_handle():
+    sim = Simulator()
+    fired = []
+    keep = sim.call_later(1.0, lambda: fired.append("keep"))
+    drop = sim.call_later(1.0, lambda: fired.append("drop"))
+    assert drop.cancel() is True
+    assert drop.cancelled and not drop.fired
+    sim.run()
+    assert fired == ["keep"]
+    assert keep.fired
+
+
+def test_cancel_after_fire_is_noop():
+    sim = Simulator()
+    handle = sim.call_later(0.5, lambda: None)
+    sim.run()
+    assert handle.fired
+    assert handle.cancel() is False
+
+
+def test_double_cancel_counts_once():
+    sim = Simulator()
+    handle = sim.call_later(0.5, lambda: None)
+    assert handle.cancel() is True
+    assert handle.cancel() is False
+    assert sim.stats().cancellations == 1
+    assert sim.pending_count() == 0
+
+
+def test_cancel_zero_delay_entry():
+    sim = Simulator()
+    fired = []
+    handle = sim.call_later(0.0, lambda: fired.append(1))
+    handle.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_pending_count_reports_live_entries_only():
+    sim = Simulator()
+    handles = [sim.call_later(float(i + 1), lambda: None) for i in range(5)]
+    assert sim.pending_count() == 5
+    handles[1].cancel()
+    handles[3].cancel()
+    # dead entries await lazy deletion but are not reported
+    assert sim.pending_count() == 3
+    sim.run()
+    assert sim.pending_count() == 0
+
+
+def test_periodic_task_cancel_removes_scheduled_tick():
+    sim = Simulator()
+    task = sim.every(0.1, lambda: None)
+    assert sim.pending_count() == 1
+    task.cancel()
+    assert sim.pending_count() == 0
+    sim.run()  # terminates: no dead tick left behind
+    assert task.runs == 0
+    assert sim.now == 0.0
+
+
+def test_stats_counters():
+    sim = Simulator()
+    sim.call_later(0.5, lambda: None)
+    cancelled = sim.call_later(1.0, lambda: None)
+    cancelled.cancel()
+    ev = sim.event()
+    ev.succeed("x")
+    sim.run()
+    stats = sim.stats()
+    assert stats.events_processed == 2  # the timer and the triggered event
+    assert stats.timers_scheduled == 2
+    assert stats.cancellations == 1
+    assert stats.peak_pending >= 2
+    assert stats.as_dict()["events_processed"] == 2
+
+
+# ---------------------------------------------------------------------------
+# Process.interrupt: stale-resume regression
+# ---------------------------------------------------------------------------
+
+
+def test_interrupt_detaches_abandoned_event():
+    """A later firing of the event an interrupted process was waiting on
+    must not re-enter the generator at the stale yield point."""
+    sim = Simulator()
+    abandoned = sim.event(name="abandoned")
+    log = []
+
+    def proc():
+        try:
+            value = yield abandoned
+            log.append(("abandoned-value", value))
+        except Interrupt:
+            log.append("interrupted")
+        value = yield sim.timeout(5.0, value="after")
+        log.append(value)
+        return "done"
+
+    p = sim.process(proc())
+    sim.call_later(1.0, p.interrupt)
+    # the abandoned event fires *after* the interrupt and before the second
+    # yield completes: with the stale callback still attached this resumed
+    # the generator early with value "stale".
+    sim.call_later(2.0, abandoned.succeed, "stale")
+    assert sim.run(until=p) == "done"
+    assert log == ["interrupted", "after"]
+    assert sim.now == pytest.approx(6.0)
+
+
+def test_interrupt_still_delivers_cause():
+    sim = Simulator()
+
+    def proc():
+        try:
+            yield sim.timeout(10.0)
+        except Interrupt as intr:
+            return intr.cause
+
+    p = sim.process(proc())
+    sim.call_later(0.5, p.interrupt, "why")
+    assert sim.run(until=p) == "why"
+
+
+# ---------------------------------------------------------------------------
+# timer wheel: boundaries, overflow, ordering
+# ---------------------------------------------------------------------------
+
+
+def test_wheel_bucket_boundary_times():
+    """Timers exactly on bucket edges and window edges fire in time order."""
+    sim = Simulator(wheel_width=1e-3, wheel_buckets=4)  # window = 4 ms
+    fired = []
+    for delay in (0.004, 0.001, 0.0, 0.002, 0.0039999, 0.008, 0.0040001, 0.012, 0.003):
+        sim.call_later(delay, lambda d=delay: fired.append(d))
+    sim.run()
+    assert fired == sorted(fired)
+    assert sim.now == pytest.approx(0.012)
+
+
+def test_wheel_overflow_rebuild():
+    """Timers far past the horizon drain window by window."""
+    sim = Simulator(wheel_width=1e-3, wheel_buckets=8)  # window = 8 ms
+    fired = []
+    delays = [i * 0.0075 for i in range(40)]  # spans many windows
+    rng = random.Random(7)
+    rng.shuffle(delays)
+    for delay in delays:
+        sim.call_later(delay, lambda d=delay: fired.append(d))
+    sim.run()
+    assert fired == sorted(delays)
+    assert sim.stats().wheel_rebuilds >= 2
+
+
+def test_schedule_into_current_bucket_preserves_order():
+    """Sub-bucket-width delays land before later same-bucket timers."""
+    sim = Simulator(wheel_width=1.0, wheel_buckets=4)
+    fired = []
+    sim.call_later(0.9, lambda: fired.append("late"))
+
+    def early():
+        fired.append("first")
+        # now=0.5; 0.2 lands inside the currently-draining bucket, before
+        # the 0.9 entry that is already sorted into the batch
+        sim.call_later(0.2, lambda: fired.append("second"))
+
+    sim.call_later(0.5, early)
+    sim.run()
+    assert fired == ["first", "second", "late"]
+
+
+def test_same_time_fifo_across_structures():
+    """Entries at one timestamp fire in scheduling order regardless of the
+    structure (wheel bucket vs. triggered-event FIFO) they came from."""
+    sim = Simulator()
+    fired = []
+    sim.call_later(1.0, lambda: fired.append("timer-a"))
+
+    def trigger():
+        fired.append("timer-b")
+        ev = sim.event()
+        ev.add_callback(lambda e: fired.append("event"))
+        ev.succeed(None)
+        sim.call_later(0.0, lambda: fired.append("zero-delay"))
+
+    sim.call_later(1.0, trigger)
+    sim.call_later(1.0, lambda: fired.append("timer-c"))
+    sim.run()
+    assert fired == ["timer-a", "timer-b", "timer-c", "event", "zero-delay"]
+
+
+def test_run_until_time_with_wheel_boundaries():
+    sim = Simulator(wheel_width=1e-3, wheel_buckets=4)
+    fired = []
+    for delay in (0.001, 0.005, 0.02):
+        sim.call_later(delay, lambda d=delay: fired.append(d))
+    sim.run(until=0.005)
+    assert fired == [0.001, 0.005]
+    assert sim.now == pytest.approx(0.005)
+    assert sim.pending_count() == 1
+
+
+# ---------------------------------------------------------------------------
+# determinism: trace equality with the reference heap scheduler
+# ---------------------------------------------------------------------------
+
+
+def _recorded_scenario(sim, seed=0xFEED):
+    """A seeded storm of timers, cancellations, events and processes; returns
+    the recorded (time, label) trace."""
+    rng = random.Random(seed)
+    trace = []
+    cancellable = []
+
+    def fire(label):
+        trace.append((sim.now, label))
+        # randomly schedule follow-ups, including ties on the same timestamp
+        for _ in range(rng.randrange(0, 3)):
+            delay = rng.choice([0.0, 0.0, rng.random() * 0.002, rng.random() * 0.5])
+            handle = sim.call_later(delay, fire, f"{label}/{delay:.6f}")
+            if rng.random() < 0.3:
+                cancellable.append(handle)
+        if cancellable and rng.random() < 0.4:
+            cancellable.pop(rng.randrange(len(cancellable))).cancel()
+
+    for i in range(40):
+        sim.call_later(rng.random() * 0.01, fire, f"seed{i}")
+
+    def proc(idx):
+        for _ in range(rng.randrange(1, 4)):
+            value = yield sim.timeout(rng.random() * 0.05, value=idx)
+            trace.append((sim.now, f"proc{idx}={value}"))
+        return idx
+
+    procs = [sim.process(proc(i)) for i in range(5)]
+    done = sim.all_of(procs)
+    done.add_callback(lambda ev: trace.append((sim.now, f"all={ev.value}")))
+    sim.run(max_time=30.0)
+    return trace
+
+
+def test_trace_equality_with_reference_heap():
+    """The wheel kernel executes the exact (when, seq) order of the
+    monolithic-heap kernel: identical trace, order and timestamps."""
+    wheel_trace = _recorded_scenario(Simulator())
+    heap_trace = _recorded_scenario(ReferenceSimulator())
+    assert len(wheel_trace) > 100
+    assert wheel_trace == heap_trace
+
+
+def test_trace_equality_with_tiny_wheel():
+    """Window rebuilds and bucket-boundary handling do not disturb order."""
+    wheel_trace = _recorded_scenario(Simulator(wheel_width=3e-4, wheel_buckets=4))
+    heap_trace = _recorded_scenario(ReferenceSimulator())
+    assert wheel_trace == heap_trace
+
+
+def test_periodic_task_self_cancel_from_callback():
+    """A periodic callback cancelling its own task must stop the task cold:
+    no dead tick rescheduled, no further runs, run() terminates."""
+    sim = Simulator()
+    holder = {}
+
+    def tick():
+        holder["task"].cancel()
+
+    holder["task"] = sim.every(0.1, tick)
+    sim.run()
+    assert holder["task"].runs == 1
+    assert sim.now == pytest.approx(0.1)
+    assert sim.pending_count() == 0

@@ -280,3 +280,32 @@ def test_empty_send_completes_immediately():
     sim.process(server_noop(listener))
     sim.run(max_time=10)
     assert out["n"] == 0
+
+
+def test_segment_appends_never_reorder_across_sizes():
+    """Receive-side regression: a later, smaller segment's cheaper
+    kernel-side processing must not let its bytes overtake an earlier large
+    segment's (found as content corruption on relayed multi-hop transfers:
+    the stream arrived complete but reordered)."""
+    from repro.core import PadicoFramework
+    from repro.simnet.networks import grid_deployment
+
+    fw = PadicoFramework()
+    grid = grid_deployment(fw, rows=2, cols=2, hosts_per_cluster=4)
+    fw.boot()
+    src = grid.clusters[0][-1]
+    dst = grid.clusters[1][1]  # no common network: two gateway relays
+    listener = fw.node(dst.name).vlink_listen(7100)
+    payload = bytes(range(256)) * 1024  # 256 KB, position-recognizable
+
+    def scenario():
+        acc = listener.accept()
+        client = yield fw.node(src.name).vlink_connect(fw.node(dst.name), 7100)
+        server = yield acc
+        pending = client.write(payload)
+        data = yield server.read(len(payload))
+        yield pending
+        return data
+
+    data = fw.sim.run(until=fw.sim.process(scenario()), max_time=60)
+    assert data == payload
