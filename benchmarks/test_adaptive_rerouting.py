@@ -20,7 +20,6 @@ whatever it managed before the kill, so adaptive wins on delivered-bytes
 per unit time under the identical fault schedule.
 """
 
-import pytest
 
 from repro.core import PadicoFramework
 from repro.methods import register_wan_method_drivers

@@ -9,7 +9,6 @@ no-arbitration ablation where an active-polling middleware starves the
 other.
 """
 
-import pytest
 
 from repro.core import paper_cluster
 from repro.middleware.corba import Interface, ORB, OMNIORB_4, Operation, Servant, TC_LONG

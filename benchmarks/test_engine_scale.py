@@ -698,6 +698,10 @@ def test_kernel_workload_trace_matches_reference_heap(benchmark, once):
         pytest.skip("reference scheduler not available")
     wheel = once(benchmark, lambda: run_kernel_scenario("small"))
     heap = run_kernel_scenario("small", sim_cls=ReferenceSimulator)
-    logical = ("beats", "delivered", "suspicions", "flaps", "bursts", "forwards", "reads", "virtual_s")
+    logical = (
+        "beats", "delivered", "suspicions", "flaps", "bursts", "forwards", "reads", "virtual_s"
+    )
     assert {k: wheel[k] for k in logical} == {k: heap[k] for k in logical}
-    benchmark.extra_info["wheel_vs_heap_wall"] = round(heap["wall_s"] / max(wheel["wall_s"], 1e-9), 2)
+    benchmark.extra_info["wheel_vs_heap_wall"] = round(
+        heap["wall_s"] / max(wheel["wall_s"], 1e-9), 2
+    )

@@ -38,7 +38,9 @@ CURVES = {
     "omniORB-3.0.2/Myrinet": lambda: _sweep(lambda fw, g: CorbaTransport(fw, g, profile=OMNIORB_3)),
     "omniORB-4.0.0/Myrinet": lambda: _sweep(lambda fw, g: CorbaTransport(fw, g, profile=OMNIORB_4)),
     "Mico-2.3.7/Myrinet": lambda: _sweep(lambda fw, g: CorbaTransport(fw, g, profile=MICO_2_3_7)),
-    "ORBacus-4.0.5/Myrinet": lambda: _sweep(lambda fw, g: CorbaTransport(fw, g, profile=ORBACUS_4_0_5)),
+    "ORBacus-4.0.5/Myrinet": lambda: _sweep(
+        lambda fw, g: CorbaTransport(fw, g, profile=ORBACUS_4_0_5)
+    ),
     "MPICH-1.1.2/Myrinet": lambda: _sweep(lambda fw, g: MpiTransport(fw, g, profile=MPICH_1_1_2)),
     "Java socket/Myrinet": lambda: _sweep(lambda fw, g: JavaSocketTransport(fw, g)),
     "TCP/Ethernet-100 (reference)": lambda: _sweep(

@@ -8,7 +8,6 @@ straight to a raw Madeleine channel; the latency and bandwidth differences
 are the framework's overhead.
 """
 
-import pytest
 
 from repro.core import paper_cluster
 from repro.bench import MpiTransport, measure_bandwidth, measure_latency

@@ -8,7 +8,6 @@ essentially free when headers are combined and measurably more expensive
 when they are not.
 """
 
-import pytest
 
 from repro.simnet.engine import Simulator
 from repro.simnet.host import Host, HostGroup

@@ -14,10 +14,9 @@ single-stream VTHD figure (~9 MB/s), since the store-and-forward pipeline
 keeps both legs busy and the WAN remains the bottleneck.
 """
 
-import pytest
 
 from repro.core import PadicoFramework, paper_wan_pair
-from repro.simnet.networks import Ethernet100, Myrinet2000, WanVthd
+from repro.simnet.networks import WanVthd
 
 TRANSFER = 2_000_000
 PING = 64

@@ -11,7 +11,6 @@
 
 import os
 
-import pytest
 
 from repro.core import paper_cluster, paper_lossy_pair
 from repro.methods import register_method_drivers

@@ -6,7 +6,6 @@ sockets, we get 150 KB/s; if we give up some reliability and allow up to
 three times more."
 """
 
-import pytest
 
 from repro.core import paper_lossy_pair
 from repro.methods import register_method_drivers
@@ -67,6 +66,8 @@ def test_vrp_tolerance_sweep(benchmark):
         return {tol: _bandwidth("vrp", tolerance=tol) for tol in (0.0, 0.05, 0.10)}
 
     sweep = benchmark.pedantic(measure, rounds=1, iterations=1, warmup_rounds=0)
-    benchmark.extra_info["bandwidth_KBps_by_tolerance"] = {str(k): round(v, 1) for k, v in sweep.items()}
+    benchmark.extra_info["bandwidth_KBps_by_tolerance"] = {
+        str(k): round(v, 1) for k, v in sweep.items()
+    }
     assert sweep[0.10] >= sweep[0.0]          # tolerating loss never hurts
     assert sweep[0.0] > 160                   # even fully reliable VRP beats TCP's ~150 KB/s

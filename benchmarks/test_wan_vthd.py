@@ -82,7 +82,9 @@ def test_wan_every_middleware_gets_the_same_latency(benchmark):
             # middleware seeing the same 8 ms WAN latency, not about the
             # WAN-specific methods
             fw, group = paper_wan_pair()
-            results[name] = measure_latency(maker(fw, group), size=64, iterations=3, max_time=600) * 1e3
+            results[name] = (
+                measure_latency(maker(fw, group), size=64, iterations=3, max_time=600) * 1e3
+            )
         return results
 
     latencies_ms = benchmark.pedantic(measure, rounds=1, iterations=1, warmup_rounds=0)

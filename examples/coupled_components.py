@@ -62,7 +62,8 @@ def main():
         local = np.full(8, 1.0)
         boundary = yield from comms_a[0].allreduce(local, op=SUM)
         remote = yield from proxy.invoke("exchange_boundary", boundary)
-        print(f"[cluster A head] sent boundary {boundary[:3]}..., received {np.asarray(remote)[:3]}...")
+        received = np.asarray(remote)[:3]
+        print(f"[cluster A head] sent boundary {boundary[:3]}..., received {received}...")
         return np.asarray(remote)
 
     def mpi_worker():

@@ -33,8 +33,10 @@ def main():
         "MPICH-1.2.5": lambda fw, g: MpiTransport(fw, g, profile=MPICH_1_2_5),
         "omniORB-4.0.0": lambda fw, g: CorbaTransport(fw, g, profile=OMNIORB_4),
     }
-    table = ResultTable("Paper cluster: one-way latency (us) and bandwidth (MB/s) over Myrinet-2000",
-                        ["latency_us", "bandwidth_MBps"])
+    table = ResultTable(
+        "Paper cluster: one-way latency (us) and bandwidth (MB/s) over Myrinet-2000",
+        ["latency_us", "bandwidth_MBps"],
+    )
     for name, maker in rows.items():
         fw, group = paper_cluster(2)
         latency = measure_latency(maker(fw, group), size=8, iterations=10)

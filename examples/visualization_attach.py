@@ -20,7 +20,6 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 import numpy as np
 
 from repro.core import PadicoFramework
-from repro.simnet.networks import Ethernet100, Myrinet2000
 from repro.middleware.mpi import MpiRuntime, SUM
 from repro.middleware.soap import SoapClient, SoapServer
 
@@ -47,8 +46,9 @@ def main():
         iteration = 0
         while residual > 1e-3 and iteration < 40:
             # halo exchange with the other rank, then a reduction
-            other = yield from comm.sendrecv(local[:64].tobytes(), dest=1 - rank,
-                                             source=1 - rank, sendtag=1, recvtag=1)
+            yield from comm.sendrecv(
+                local[:64].tobytes(), dest=1 - rank, source=1 - rank, sendtag=1, recvtag=1
+            )
             local = local * 0.7
             residual = yield from comm.allreduce(float(np.abs(local).mean()), op=SUM)
             iteration += 1
@@ -75,7 +75,8 @@ def main():
     print(f"\ncomputation finished after {procs[0].value} iterations "
           f"(virtual time {fw.sim.now * 1e3:.1f} ms)")
     print("MPI ran over:", fw.node('node0').circuits.circuit('vmad:mpi').route_for(1).method,
-          "— monitoring ran over SOAP/Ethernet, concurrently, with no change to either middleware")
+          "— monitoring ran over SOAP/Ethernet, concurrently, "
+          "with no change to either middleware")
 
 
 if __name__ == "__main__":

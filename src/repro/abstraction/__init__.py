@@ -51,6 +51,10 @@ from repro.abstraction.adaptive import (
     AdaptiveVLink,
     route_signature,
 )
+from repro.abstraction.adaptive_circuit import (
+    AdaptiveCircuitAdapter,
+    AdaptiveCircuitSession,
+)
 from repro.abstraction.drivers import (
     VLinkDriver,
     SysIOVLinkDriver,
@@ -67,6 +71,8 @@ from repro.abstraction.adapters import (
 
 __all__ = [
     "AbstractionError",
+    "AdaptiveCircuitAdapter",
+    "AdaptiveCircuitSession",
     "AdaptiveListener",
     "AdaptiveVLink",
     "route_signature",

@@ -23,7 +23,7 @@ from repro.simnet.engine import SimEvent
 from repro.simnet.host import Host
 from repro.simnet.network import Delivery, Network
 from repro.arbitration.madio import MadIO, MadIOChannel
-from repro.arbitration.sysio import SysIO, SysSocket
+from repro.arbitration.sysio import SysIO
 from repro.abstraction.common import (
     AbstractionError,
     CROSS_PARADIGM_FRAMING_OVERHEAD,
@@ -268,16 +268,25 @@ class SysIOCircuitAdapter(StreamMeshCircuitAdapter):
 
     name = "sysio"
 
+    #: own SysIO port range: a mixed group (some legs on this adapter, some
+    #: on VLink-based adapters) must not collide with the VLink manager's
+    #: listener for the same circuit port — the VLink port namespace *is*
+    #: the raw SysIO namespace, and the method drivers' offsets stay below
+    #: this one.
+    PORT_OFFSET = 200000
+
     def __init__(self, circuit: Circuit, route: RouteChoice, sysio: Optional[SysIO] = None):
         super().__init__(circuit, route)
         self.sysio = sysio or self.host.require_service("sysio")
         self.network = route.network
 
     def _listen(self, port: int, on_incoming: Callable) -> None:
-        self.sysio.listen(port, lambda sock: on_incoming(sock, sock.conn.peer_host))
+        self.sysio.listen(
+            port + self.PORT_OFFSET, lambda sock: on_incoming(sock, sock.conn.peer_host)
+        )
 
     def _connect(self, dst_host: Host, port: int) -> SimEvent:
-        return self.sysio.connect(dst_host, port, network=self.network)
+        return self.sysio.connect(dst_host, port + self.PORT_OFFSET, network=self.network)
 
 
 class VLinkCircuitAdapter(StreamMeshCircuitAdapter):
@@ -305,7 +314,22 @@ class VLinkCircuitAdapter(StreamMeshCircuitAdapter):
         listener.set_accept_callback(lambda link: on_incoming(link, None))
 
     def _connect(self, dst_host: Host, port: int) -> SimEvent:
-        return self.vlink_manager.connect(dst_host, port, method=self.method)
+        choice = self._choice_for(dst_host)
+        route = choice.via if choice is not None else None
+        params = dict(choice.params) if choice is not None and choice.params else None
+        return self.vlink_manager.connect(
+            dst_host, port, method=self.method, route=route, params=params
+        )
+
+    def _choice_for(self, dst_host: Host) -> Optional[RouteChoice]:
+        """The circuit's route decision towards ``dst_host`` (this adapter
+        instance is shared by every rank using the same method, so the
+        per-destination pinning lives on the circuit, not the adapter)."""
+        try:
+            rank = self.circuit.group.index_of(dst_host)
+        except ValueError:
+            return None
+        return self.circuit._routes_by_rank.get(rank)
 
     @staticmethod
     def _watch(stream, fn: Callable) -> None:

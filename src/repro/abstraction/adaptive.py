@@ -68,6 +68,12 @@ _T_CLOSE = 3
 #: verdict can route around the failure.
 MIGRATION_TIMEOUT = 0.5
 
+#: virtual seconds before a dead-rail session retries migration after a
+#: failed attempt.  Must be non-zero: a synchronous connect failure (e.g.
+#: the route's gateway has no relay) would otherwise re-enter migrate()
+#: in the same-timestamp event batch forever, hanging the simulator.
+MIGRATION_RETRY_DELAY = MIGRATION_TIMEOUT / 8
+
 
 def route_signature(route: "Optional[Route | RouteChoice]") -> Optional[Tuple]:
     """A comparable fingerprint of a route decision (method/network/host per
@@ -134,6 +140,12 @@ class AdaptiveVLink:
         self.port = port
         self.role = role  # "client" originates rails; "server" accepts them
         self.listener: "Optional[AdaptiveListener]" = None  # server side only
+        #: optional route source consulted for every rail (initial connect
+        #: and each migration): adaptive *circuit* legs pass the selector's
+        #: circuit-hop pinning here, so their rails follow circuit policy
+        #: instead of the plain VLink table.  Returning ``None`` falls back
+        #: to the manager's own selection.
+        self.route_provider: Optional[Callable[[], Optional[Route]]] = None
         self.state = VLinkState.CONNECTING
         self.rail: Optional[VLink] = None
         self.rail_signature: Optional[Tuple] = None
@@ -151,6 +163,11 @@ class AdaptiveVLink:
         self.last_migration_error: Optional[BaseException] = None
         self._migrating = False
         self._remigrate = False
+        #: the current rail died underneath us (close propagated from the
+        #: transport).  While True, re-selection must migrate even when the
+        #: recomputed route's signature equals the dead rail's — a fresh
+        #: rail along the same route is still the fix.
+        self._rail_dead = False
         self._attempt = 0  # epoch guarding stale migration completions
         self._migration_timer = None  # cancellable TimerHandle of the attempt
         #: True when the peer closed while promising bytes we never received
@@ -286,6 +303,7 @@ class AdaptiveVLink:
                 old.close()
         self.rail = rail
         self.rail_signature = route_signature(rail.route)
+        self._rail_dead = False
         self._parser = _FrameParser()
         self._on_ack(peer_delivered)
         self.sent_offset = peer_delivered
@@ -404,6 +422,7 @@ class AdaptiveVLink:
         """The carrier died under us (relay teardown, peer transport loss)."""
         if rail is not self.rail or self.state is not VLinkState.ESTABLISHED:
             return
+        self._rail_dead = True
         if self.role == "client":
             # re-open along whatever the selector currently thinks is best
             # (possibly the same signature: a fresh rail is still the fix).
@@ -418,14 +437,47 @@ class AdaptiveVLink:
         if self._migrating:
             self._remigrate = True
             return
+        if self.manager.gateway_provisioner is not None:
+            # the replacement route may relay through gateways that are not
+            # booted (or lack the WAN method drivers) yet
+            self.manager.gateway_provisioner(self.dst_host)
         self._migrating = True
         self._attempt += 1
         attempt_id = self._attempt
-        attempt = self.manager.connect(self.dst_host, self.port, reliable_only=True)
+        attempt = self.manager.connect(
+            self.dst_host, self.port, reliable_only=True, route=self._provided_route()
+        )
         attempt.add_callback(lambda ev: self._on_migration_rail(ev, attempt_id))
         self._migration_timer = self.sim.call_later(
             MIGRATION_TIMEOUT, self._migration_timeout, attempt_id
         )
+
+    def _discard_stale_rail(self, rail: VLink) -> None:
+        """Drop a rail from a superseded migration attempt — carefully.
+
+        The rail's RESUME hello may already have reached the listener, in
+        which case the *server* adopted it as the session carrier and
+        detached whatever rail this side still considers current (split
+        brain: our writes are drained and dropped over there).  Closing the
+        late rail alone would deadlock the session, so treat the current
+        rail as suspect and reconverge through a fresh resume handshake —
+        idempotent by construction (cumulative acks, duplicate suppression
+        by offset).
+        """
+        if rail.state is not VLinkState.CLOSED:
+            rail.close()
+        if self.state is VLinkState.ESTABLISHED and self.role == "client":
+            self._rail_dead = True
+            self.sim.call_later(0.0, self._reroute_self)
+
+    def _provided_route(self) -> Optional[Route]:
+        """The externally pinned route for the next rail, if any."""
+        if self.route_provider is None:
+            return None
+        try:
+            return self.route_provider()
+        except AbstractionError:
+            return None
 
     def _cancel_migration_timer(self) -> None:
         timer, self._migration_timer = self._migration_timer, None
@@ -437,15 +489,19 @@ class AdaptiveVLink:
         if attempt_id != self._attempt or not self._migrating:
             return
         self._attempt += 1  # a late completion of this attempt is now stale
+        # The attempt's RESUME hello may have reached the listener even
+        # though the reply never made it back (it died with a gateway): the
+        # server may already carry the session on the abandoned rail.  The
+        # old rail is therefore suspect — reconverge through a fresh resume
+        # (idempotent) instead of assuming it still reaches the peer.
+        # _migration_failed schedules the re-evaluation.
+        self._rail_dead = True
         self._migration_failed(TimeoutError("migration attempt timed out"))
-        if self.state is VLinkState.ESTABLISHED:
-            # re-evaluate: the topology verdicts may have moved on meanwhile
-            self.sim.call_later(0.0, self._reroute_self)
 
     def _on_migration_rail(self, ev, attempt_id: int) -> None:
         if attempt_id != self._attempt:
             if ev.ok:
-                ev.value.close()  # stale attempt: discard the late rail
+                self._discard_stale_rail(ev.value)
             return
         if not ev.ok:
             self._migration_failed(ev.value)
@@ -463,7 +519,7 @@ class AdaptiveVLink:
 
     def _on_resume_reply(self, rev, rail: VLink, attempt_id: int) -> None:
         if attempt_id != self._attempt or self.state is not VLinkState.ESTABLISHED:
-            rail.close()
+            self._discard_stale_rail(rail)
             return
         if not rev.ok:
             rail.close()
@@ -496,9 +552,17 @@ class AdaptiveVLink:
     def _migration_failed(self, exc: BaseException) -> None:
         self._cancel_migration_timer()
         self._migrating = False
+        retry = self._remigrate or self._rail_dead
         self._remigrate = False
         self.last_migration_error = exc
-        # keep the old rail: the next topology change retries.
+        # With a live old rail the next topology change retries.  But when
+        # the rail is already dead — or a re-migration was queued while this
+        # attempt was in flight — nobody else will: re-evaluate soon (the
+        # dead-rail check in the manager migrates even on an identical
+        # route signature).  The delay is what keeps a synchronously
+        # failing connect from hot-looping the same timestamp.
+        if retry and self.state is VLinkState.ESTABLISHED:
+            self.sim.call_later(MIGRATION_RETRY_DELAY, self._reroute_self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -609,15 +673,23 @@ class AdaptiveListener:
         return f"<AdaptiveListener :{self.port} sessions={len(self.sessions)}>"
 
 
-def adaptive_connect(manager: VLinkManager, dst_host: Host, port: int) -> VLinkOperation:
+def adaptive_connect(
+    manager: VLinkManager,
+    dst_host: Host,
+    port: int,
+    route_provider: Optional[Callable[[], Optional[Route]]] = None,
+) -> VLinkOperation:
     """Client side: open an adaptive session (used by
-    :meth:`VLinkManager.connect_adaptive`)."""
+    :meth:`VLinkManager.connect_adaptive`).  ``route_provider`` pins the
+    rail route (initial and per-migration) — adaptive circuit legs use it
+    to ride circuit-hop selection."""
     op = VLinkOperation(manager.sim, "connect")
     session_id = (zlib.crc32(manager.host.name.encode("utf-8")) << 32) | next(
         _session_counter(manager)
     )
     link = AdaptiveVLink(manager, session_id, dst_host, port, role="client")
-    attempt = manager.connect(dst_host, port, reliable_only=True)
+    link.route_provider = route_provider
+    attempt = manager.connect(dst_host, port, reliable_only=True, route=link._provided_route())
     pending_rail: List[VLink] = []
 
     def _handshake_timed_out():

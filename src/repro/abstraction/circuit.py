@@ -26,12 +26,7 @@ from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 from repro.simnet.cost import Cost
 from repro.simnet.engine import SimEvent
 from repro.simnet.host import Host, HostGroup
-from repro.madeleine.message import (
-    MadIncoming,
-    MadMessage,
-    PackMode,
-    encode_segments,
-)
+from repro.madeleine.message import MadIncoming, MadMessage
 from repro.abstraction.common import AbstractionError, CIRCUIT_LAYER_OVERHEAD, RxPath
 from repro.abstraction.selector import RouteChoice, Selector
 
@@ -65,6 +60,10 @@ class Circuit:
         self.sim = manager.sim
         self.name = name
         self.group = group
+        #: the per-circuit adaptive bookkeeping surface
+        #: (:class:`~repro.abstraction.adaptive_circuit.AdaptiveCircuitSession`)
+        #: when the circuit was created with ``adaptive=True``; None otherwise.
+        self.adaptive = None
         if not group.contains(self.host):
             raise AbstractionError(
                 f"host {self.host.name!r} is not a member of group {group.name!r}"
@@ -74,6 +73,12 @@ class Circuit:
         self._receive_callback: Optional[Callable[[int, CircuitIncoming, RxPath], None]] = None
         self._recv_queue: List[Tuple[int, CircuitIncoming]] = []
         self._recv_waiters: List[Tuple[Optional[int], SimEvent]] = []
+        # per-source cursor serializing deliveries: a later small message's
+        # cheaper receive-side cost must never let its callback fire before
+        # an earlier large message from the same source (the Circuit-layer
+        # member of the size-dependent-delay reordering family fixed for
+        # MadVLink, AdOC/GSI and TCP segments in PRs 1-3).
+        self._next_deliver_at: Dict[int, float] = {}
         self.messages_sent = 0
         self.messages_received = 0
         self.bytes_sent = 0
@@ -167,11 +172,12 @@ class Circuit:
         incoming = CircuitIncoming(src_rank, payload, src_name=self.group[src_rank].name)
         self.messages_received += 1
         self.bytes_received += incoming.payload_bytes
+        ready = max(rx.ready_time(), self._next_deliver_at.get(src_rank, 0.0))
+        self._next_deliver_at[src_rank] = ready
+        delay = max(0.0, ready - self.sim.now)
         if self._receive_callback is not None:
-            delay = max(0.0, rx.ready_time() - self.sim.now)
             self.sim.call_later(delay, self._receive_callback, src_rank, incoming, rx)
             return
-        delay = max(0.0, rx.ready_time() - self.sim.now)
         self.sim.call_later(delay, self._enqueue, src_rank, incoming)
 
     def _enqueue(self, src_rank: int, incoming: CircuitIncoming) -> None:
@@ -234,32 +240,61 @@ class CircuitManager:
         group: HostGroup,
         *,
         methods: Optional[Dict[int, str]] = None,
+        adaptive: bool = False,
     ) -> Circuit:
         """Create the local endpoint of circuit ``name`` over ``group``.
 
         ``methods`` optionally forces the adapter per destination rank
         (used by ablation benchmarks); otherwise the selector decides.
+        With ``adaptive=True`` every remote leg rides an adaptive session
+        (:mod:`repro.abstraction.adaptive_circuit`): the leg's rail follows
+        the selector's circuit-hop pinning and migrates — alone, preserving
+        per-source byte order — when its hop degrades or its gateway dies.
+        Every member of the group must agree on the flag (an adaptive
+        endpoint handshakes sessions, a static one expects raw streams).
         """
         if name in self._circuits:
             return self._circuits[name]
+        if adaptive and methods:
+            # forcing a concrete adapter per rank and asking for migratable
+            # sessions contradict each other; failing beats silently
+            # measuring the wrong transport in an ablation run.
+            raise AbstractionError(
+                "circuit(adaptive=True) cannot honour a forced `methods` map; "
+                "drop one of the two"
+            )
         circuit = Circuit(self, name, group)
         adapters_by_method: Dict[str, "CircuitAdapter"] = {}
         for dst_rank, dst_host in enumerate(group):
             if dst_host is self.host:
                 continue
             route = self._route(circuit, dst_host, methods, dst_rank)
-            adapter = adapters_by_method.get(route.method)
+            factory_name = route.method
+            if adaptive and route.method not in ("loopback",):
+                # local legs cannot lose their rail; everything else rides
+                # a migratable session.
+                factory_name = "adaptive"
+            adapter = adapters_by_method.get(factory_name)
             if adapter is None:
-                factory = self._factories.get(route.method)
+                factory = self._factories.get(factory_name)
                 if factory is None:
                     raise AbstractionError(
-                        f"no Circuit adapter factory {route.method!r} on host {self.host.name}; "
+                        f"no Circuit adapter factory {factory_name!r} on host {self.host.name}; "
                         f"registered: {self.adapter_names()}"
                     )
                 adapter = factory(circuit, route)
                 adapter.start()
-                adapters_by_method[route.method] = adapter
+                adapters_by_method[factory_name] = adapter
             circuit._set_link(dst_rank, adapter, route)
+        if adaptive:
+            from repro.abstraction.adaptive_circuit import (
+                AdaptiveCircuitAdapter,
+                AdaptiveCircuitSession,
+            )
+
+            adapter = adapters_by_method.get("adaptive")
+            if isinstance(adapter, AdaptiveCircuitAdapter):
+                circuit.adaptive = AdaptiveCircuitSession(circuit, adapter)
         self._circuits[name] = circuit
         return circuit
 
@@ -281,13 +316,17 @@ class CircuitManager:
                 link_class = profile.link_class
             else:
                 link_class = LinkClass.NONE
-            return RouteChoice(method=forced, network=network, link_class=link_class, reason="forced")
+            return RouteChoice(
+                method=forced, network=network, link_class=link_class, reason="forced"
+            )
         if self.selector is not None:
             return self.selector.choose_circuit_route(self.host, dst_host, self.adapter_names())
         # No selector: prefer madio when registered, else sysio.
         for fallback in ("madio", "sysio", "loopback"):
             if fallback in self._factories:
-                return RouteChoice(method=fallback, network=None, link_class=LinkClass.NONE, reason="fallback")
+                return RouteChoice(
+                    method=fallback, network=None, link_class=LinkClass.NONE, reason="fallback"
+                )
         raise AbstractionError(f"no Circuit adapters registered on host {self.host.name}")
 
     def circuit(self, name: str) -> Circuit:

@@ -23,7 +23,7 @@ from __future__ import annotations
 import itertools
 import struct
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, Optional, Tuple
 
 from repro.simnet.buffers import ByteRing
 from repro.simnet.cost import Cost
@@ -31,7 +31,7 @@ from repro.simnet.engine import SimEvent
 from repro.simnet.host import Host
 from repro.simnet.network import Delivery, Network
 from repro.arbitration.madio import MadIO, MadIOChannel
-from repro.arbitration.sysio import SysIO, SysSocket
+from repro.arbitration.sysio import SysIO
 from repro.abstraction.common import (
     AbstractionError,
     CROSS_PARADIGM_STREAM_OVERHEAD,
@@ -147,6 +147,19 @@ class VLinkDriver:
     def connect(self, dst_host: Host, port: int) -> SimEvent:
         """Open a connection; the event succeeds with a driver connection."""
         raise NotImplementedError
+
+    def connect_with_params(
+        self, dst_host: Host, port: int, params: Optional[Dict[str, float]] = None
+    ) -> SimEvent:
+        """Open a connection with per-connection method parameters.
+
+        The selector derives parameters (stream fan-out, loss tolerance)
+        from the monitoring subsystem's measured link metrics; drivers that
+        support tuning override this.  The base class ignores the
+        parameters, so pinning a parameter on a driver that cannot honour
+        it degrades to the driver's registered configuration.
+        """
+        return self.connect(dst_host, port)
 
     def reaches(self, dst_host: Host) -> bool:
         """Can this driver reach ``dst_host`` at all?"""

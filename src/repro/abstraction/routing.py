@@ -33,7 +33,7 @@ from __future__ import annotations
 import heapq
 import struct
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.simnet.buffers import ByteRing
 from repro.simnet.cost import MILLISECOND, latency_bandwidth_time
@@ -80,10 +80,19 @@ class RouteChoice:
     #: hosts this hop joins (None on legacy single-hop construction sites).
     src: Optional[Host] = None
     dst: Optional[Host] = None
+    #: monitoring-driven method parameters (e.g. ``streams`` for parallel
+    #: streams, ``tolerance`` for VRP), derived from the measured metrics of
+    #: the hop's network by :meth:`Selector.derive_method_params`.
+    params: Dict[str, float] = field(default_factory=dict)
+    #: pinned multi-hop continuation for routed Circuit legs: the concrete
+    #: per-hop method decisions the relay chain should honour instead of
+    #: re-selecting autonomously.
+    via: Optional["Route"] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         x = " cross" if self.cross_paradigm else ""
-        return f"<RouteChoice {self.method} on {self.network.name if self.network else 'local'}{x}>"
+        p = f" {self.params}" if self.params else ""
+        return f"<RouteChoice {self.method} on {self.network.name if self.network else 'local'}{x}{p}>"
 
 
 @dataclass
@@ -286,8 +295,9 @@ class RoutingEngine:
 # The gateway relay: store-and-forward between two VLink rails
 # ---------------------------------------------------------------------------
 
-#: relay handshake: magic, final port, TTL, destination-name length.
-_RELAY_HELLO = struct.Struct("!4sHBH")
+#: relay handshake: magic, final port, TTL, destination-name length,
+#: pinned-hop blob length.
+_RELAY_HELLO = struct.Struct("!4sHBHH")
 _RELAY_MAGIC = b"PRLY"
 _RELAY_OK = b"\x01"
 _RELAY_FAIL = b"\x00"
@@ -295,10 +305,55 @@ _RELAY_FAIL = b"\x00"
 GATEWAY_RELAY_SERVICE = "gateway-relay"
 
 
-def pack_relay_hello(dst_name: str, port: int, ttl: int) -> bytes:
-    """The client side of the relay handshake."""
+def pack_relay_hello(dst_name: str, port: int, ttl: int, pinned: bytes = b"") -> bytes:
+    """The client side of the relay handshake.
+
+    ``pinned`` optionally carries the encoded method decisions for the
+    remaining hops (see :func:`encode_pinned_hops`); an empty blob keeps the
+    historical behaviour where every relay re-selects autonomously.
+    """
     name = dst_name.encode("utf-8")
-    return _RELAY_HELLO.pack(_RELAY_MAGIC, port, ttl, len(name)) + name
+    return _RELAY_HELLO.pack(_RELAY_MAGIC, port, ttl, len(name), len(pinned)) + name + pinned
+
+
+def encode_pinned_hops(hops: List[RouteChoice]) -> bytes:
+    """Serialize per-hop method decisions for the relay handshake.
+
+    Each hop encodes as ``method@dst[#key=value...]``; hops are joined with
+    ``;``.  Pinning requires explicit hop endpoints — any hop without a
+    ``dst`` yields an empty blob (the relays then re-select autonomously,
+    the pre-pinning behaviour).
+    """
+    parts = []
+    for hop in hops:
+        if hop.dst is None:
+            return b""
+        spec = f"{hop.method}@{hop.dst.name}"
+        for key in sorted(hop.params):
+            spec += f"#{key}={hop.params[key]}"
+        parts.append(spec)
+    return ";".join(parts).encode("utf-8")
+
+
+def decode_pinned_hops(blob: bytes) -> List[Tuple[str, str, Dict[str, float]]]:
+    """Parse a pinned-hop blob into ``(method, dst_name, params)`` triples.
+
+    Raises :class:`ValueError` on malformed input; callers treat that as
+    "no pinning" and fall back to autonomous selection.
+    """
+    triples: List[Tuple[str, str, Dict[str, float]]] = []
+    for spec in blob.decode("utf-8").split(";"):
+        fields = spec.split("#")
+        method, _, dst_name = fields[0].partition("@")
+        if not method or not dst_name:
+            raise ValueError(f"malformed pinned hop {spec!r}")
+        params: Dict[str, float] = {}
+        for pair in fields[1:]:
+            key, _, raw = pair.partition("=")
+            value = float(raw)
+            params[key] = int(value) if value.is_integer() and "." not in raw else value
+        triples.append((method, dst_name, params))
+    return triples
 
 
 class _RelaySession:
@@ -310,7 +365,7 @@ class _RelaySession:
         self.upstream = upstream
         self.downstream: Optional["VLink"] = None
         self.buffer = ByteRing()
-        self.header: Optional[Tuple[int, int, int]] = None  # port, ttl, name_len
+        self.header: Optional[Tuple[int, int, int, int]] = None  # port, ttl, name_len, pin_len
         self.failed = False
         self.closed = False
         # per-direction cursor serializing forwarded writes: a small chunk's
@@ -328,24 +383,27 @@ class _RelaySession:
         if self.header is None:
             if len(self.buffer) < _RELAY_HELLO.size:
                 return
-            magic, port, ttl, name_len = _RELAY_HELLO.unpack(self.buffer.peek(_RELAY_HELLO.size))
+            magic, port, ttl, name_len, pin_len = _RELAY_HELLO.unpack(
+                self.buffer.peek(_RELAY_HELLO.size)
+            )
             if magic != _RELAY_MAGIC:
                 self._refuse("relay: bad handshake magic")
                 return
-            self.header = (port, ttl, name_len)
-        port, ttl, name_len = self.header
-        if len(self.buffer) < _RELAY_HELLO.size + name_len:
+            self.header = (port, ttl, name_len, pin_len)
+        port, ttl, name_len, pin_len = self.header
+        if len(self.buffer) < _RELAY_HELLO.size + name_len + pin_len:
             return
         self.buffer.skip(_RELAY_HELLO.size)
         dst_name = self.buffer.take(name_len).decode("utf-8")
+        pinned = self.buffer.take(pin_len)
         # handshake complete: keep buffering payload while the next leg opens
         self.upstream.set_data_handler(lambda _link: self._buffer_early_payload())
-        self._open_downstream(dst_name, port, ttl)
+        self._open_downstream(dst_name, port, ttl, pinned)
 
     def _buffer_early_payload(self) -> None:
         self.buffer.append(self.upstream.read_available())
 
-    def _open_downstream(self, dst_name: str, port: int, ttl: int) -> None:
+    def _open_downstream(self, dst_name: str, port: int, ttl: int, pinned: bytes = b"") -> None:
         if ttl <= 0:
             self._refuse(f"relay TTL exhausted towards {dst_name!r}")
             return
@@ -355,17 +413,55 @@ class _RelaySession:
         except LookupError:
             self._refuse(f"relay: unknown destination host {dst_name!r}")
             return
+        route = self._pinned_route(dst_host, pinned) if pinned else None
         try:
             # a relay leg carries somebody else's byte stream: only drivers
             # that never surrender bytes may serve it (e.g. a VRP driver is
             # usable only at zero tolerance).
             attempt = self.relay.manager.connect(
-                dst_host, port, relay_ttl=ttl - 1, reliable_only=True
+                dst_host, port, relay_ttl=ttl - 1, reliable_only=True, route=route
             )
         except AbstractionError as exc:
             self._refuse(str(exc))
             return
         attempt.add_callback(self._on_downstream)
+
+    def _pinned_route(self, dst_host: Host, pinned: bytes) -> Optional["Route"]:
+        """Reconstruct the pinned continuation the client handshook.
+
+        Any inconsistency (unknown host, malformed blob, a chain that does
+        not end at the destination) degrades gracefully to ``None`` — the
+        relay then re-selects autonomously, the pre-pinning behaviour.
+        """
+        topology = self.relay.topology
+        try:
+            triples = decode_pinned_hops(pinned)
+        except (ValueError, UnicodeDecodeError):
+            return None
+        if not triples:
+            return None
+        hops: List[RouteChoice] = []
+        src = self.relay.host
+        for method, hop_dst_name, params in triples:
+            try:
+                hop_dst = topology.host_by_name(hop_dst_name)
+            except LookupError:
+                return None
+            hops.append(
+                RouteChoice(
+                    method=method,
+                    network=None,
+                    link_class=LinkClass.NONE,
+                    reason="pinned by upstream relay handshake",
+                    src=src,
+                    dst=hop_dst,
+                    params=params,
+                )
+            )
+            src = hop_dst
+        if hops[-1].dst is not dst_host:
+            return None
+        return Route(self.relay.host, dst_host, hops)
 
     def _on_downstream(self, ev) -> None:
         if not ev.ok:

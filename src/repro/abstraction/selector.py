@@ -38,6 +38,14 @@ from repro.abstraction.routing import Route, RouteChoice, RoutingEngine
 
 __all__ = ["Selector", "Preferences", "Route", "RouteChoice"]
 
+#: bounds for the monitoring-driven parallel-streams fan-out.
+MIN_STREAMS, MAX_STREAMS = 2, 8
+#: bandwidth-delay product above which a WAN profits from the full base
+#: fan-out (below it, connection setup dominates and two members suffice).
+STREAMS_BDP_THRESHOLD = 32 * 1024
+#: cap for the derived VRP tolerance (never surrender more than this).
+MAX_VRP_TOLERANCE = 0.20
+
 
 @dataclass
 class Preferences:
@@ -50,6 +58,9 @@ class Preferences:
 
     vlink_methods: Dict[LinkClass, List[str]] = field(default_factory=dict)
     circuit_methods: Dict[LinkClass, List[str]] = field(default_factory=dict)
+    #: per-hop method preference for *routed* Circuit legs (the hops ride
+    #: VLink rails, so these are VLink driver names, not adapter names).
+    circuit_hop_methods: Dict[LinkClass, List[str]] = field(default_factory=dict)
     #: force ciphering on links that cross administrative sites.
     require_security_cross_site: bool = False
 
@@ -59,6 +70,10 @@ class Preferences:
 
     def prefer_circuit(self, link_class: LinkClass, *methods: str) -> "Preferences":
         self.circuit_methods[link_class] = list(methods)
+        return self
+
+    def prefer_circuit_hop(self, link_class: LinkClass, *methods: str) -> "Preferences":
+        self.circuit_hop_methods[link_class] = list(methods)
         return self
 
 
@@ -78,6 +93,18 @@ _DEFAULT_CIRCUIT = {
     LinkClass.LOSSY_WAN: ["vlink:vrp", "sysio"],
     # pairs with no common network but a gateway route: ride routed VLinks.
     LinkClass.ROUTED: ["vlink"],
+}
+
+#: per-hop method preference for routed Circuit legs.  Every hop carries a
+#: framed stream-mesh byte stream (somebody's message boundaries live in
+#: it), so hops are restricted to drivers that never surrender bytes and a
+#: VRP hop is always pinned at zero tolerance.
+_DEFAULT_CIRCUIT_HOP = {
+    LinkClass.LOCAL: ["loopback", "sysio"],
+    LinkClass.SAN: ["madio", "sysio"],
+    LinkClass.LAN: ["sysio"],
+    LinkClass.WAN: ["parallel_streams", "adoc", "sysio"],
+    LinkClass.LOSSY_WAN: ["vrp", "adoc", "sysio"],
 }
 
 #: methods that translate between paradigms when used for each interface.
@@ -105,7 +132,10 @@ class Selector:
 
     # -- generic machinery -------------------------------------------------------
     def _candidates(
-        self, link_class: LinkClass, table: Dict[LinkClass, List[str]], overrides: Dict[LinkClass, List[str]]
+        self,
+        link_class: LinkClass,
+        table: Dict[LinkClass, List[str]],
+        overrides: Dict[LinkClass, List[str]],
     ) -> List[str]:
         if link_class in overrides:
             return list(overrides[link_class]) + list(table.get(link_class, []))
@@ -120,6 +150,7 @@ class Selector:
         overrides: Dict[LinkClass, List[str]],
         cross_set,
         interface: str,
+        reliable: bool = False,
     ) -> RouteChoice:
         profile: LinkProfile = self.topology.link_profile(src, dst)
         if profile.link_class is LinkClass.NONE:
@@ -141,11 +172,51 @@ class Selector:
                     ),
                     src=src,
                     dst=dst,
+                    params=self.derive_method_params(method, network, reliable=reliable),
                 )
         raise AbstractionError(
             f"no available {interface} method for {profile.link_class.value} link "
             f"{src.name}->{dst.name}; candidates={candidates}, available={sorted(available)}"
         )
+
+    def derive_method_params(
+        self, method: str, network: Optional[Network], reliable: bool = False
+    ) -> Dict[str, float]:
+        """Monitoring-driven method *parameters* for a chosen hop.
+
+        The selector used to feed measurements only into the method
+        *choice*; the parameters of the method stayed at their registration
+        defaults.  This derives them from the knowledge base's effective
+        (measured-override-aware) metrics of the hop's network:
+
+        * ``parallel_streams``: the member-socket fan-out grows with the
+          measured loss (each member shields the others from a loss event)
+          on top of a base set by the bandwidth-delay product —
+          ``base + round(loss * 100)`` clamped to [2, 8], where base is 4
+          for long fat pipes and 2 below :data:`STREAMS_BDP_THRESHOLD`.
+        * ``vrp``: the tolerated loss follows the measured loss
+          (``1.5 x loss`` capped at :data:`MAX_VRP_TOLERANCE`) — give up
+          roughly what the wire is dropping anyway, keep the bandwidth.
+          On ``reliable`` legs (gateway relays, adaptive rails: somebody
+          else's framed stream) the tolerance is pinned at zero instead.
+        """
+        if network is None:
+            return {}
+        topology = self.topology
+        base_method = method.rsplit(":", 1)[-1]
+        if base_method == "parallel_streams":
+            loss = topology.effective_loss_rate(network)
+            bdp = topology.effective_latency(network) * topology.effective_bandwidth(network)
+            base = 4 if bdp >= STREAMS_BDP_THRESHOLD else 2
+            streams = base + int(round(loss * 100))
+            return {"streams": max(MIN_STREAMS, min(MAX_STREAMS, streams))}
+        if base_method == "vrp":
+            if reliable:
+                return {"tolerance": 0.0}
+            loss = topology.effective_loss_rate(network)
+            if loss > 0.0:
+                return {"tolerance": round(min(MAX_VRP_TOLERANCE, 1.5 * loss), 4)}
+        return {}
 
     @staticmethod
     def _network_for(method: str, profile: LinkProfile) -> Optional[Network]:
@@ -217,7 +288,22 @@ class Selector:
         if profile.link_class is not LinkClass.NONE:
             # the chosen method must be served on both ends of the link
             usable = self.mutually_available(available, dst, reliable_only)
-            return Route(src, dst, [self.choose_vlink(src, dst, usable)])
+            return Route(
+                src,
+                dst,
+                [
+                    self._pick(
+                        src,
+                        dst,
+                        usable,
+                        _DEFAULT_VLINK,
+                        self.preferences.vlink_methods,
+                        _CROSS_PARADIGM_VLINK,
+                        "VLink",
+                        reliable=reliable_only,
+                    )
+                ],
+            )
         hops = self.routing.host_path(src, dst)
         choices: List[RouteChoice] = []
         for index, hop in enumerate(hops):
@@ -235,34 +321,81 @@ class Selector:
                     self.preferences.vlink_methods,
                     _CROSS_PARADIGM_VLINK,
                     "VLink",
+                    reliable=reliable_only,
+                )
+            )
+        return Route(src, dst, choices)
+
+    def pin_circuit_route(
+        self, src: Host, dst: Host, available: Optional[List[str]] = None
+    ) -> Route:
+        """Pin a concrete method per hop of the ``src -> dst`` circuit leg.
+
+        Routed Circuit legs used to hand the whole path to a bare VLink and
+        let every relay re-select autonomously; this computes the decisions
+        up front so that each hop gets the best *circuit-hop* method the
+        drivers on both of its ends serve (parallel streams / AdOC /
+        zero-tolerance VRP on WAN hops, MadIO or plain sockets on SAN/LAN
+        hops), with monitoring-driven parameters per hop.  Every hop of the
+        chain carries a framed stream, so selection is restricted to
+        reliable drivers on both hop ends.  Also used by adaptive circuit
+        legs as the rail route provider (single-hop routes for directly
+        connected pairs).  Raises :class:`AbstractionError` when the pair is
+        unreachable or ``src is dst``.
+        """
+        hops = self.routing.host_path(src, dst)
+        if not hops:
+            raise AbstractionError(
+                f"no circuit hops to pin between {src.name} and {dst.name}"
+            )
+        choices: List[RouteChoice] = []
+        for index, hop in enumerate(hops):
+            hop_available = (
+                available
+                if index == 0 and available is not None
+                else self.vlink_methods_on(hop.src, reliable_only=True)
+            )
+            choices.append(
+                self._pick(
+                    hop.src,
+                    hop.dst,
+                    self.mutually_available(hop_available, hop.dst, reliable_only=True),
+                    _DEFAULT_CIRCUIT_HOP,
+                    self.preferences.circuit_hop_methods,
+                    _CROSS_PARADIGM_VLINK,
+                    "Circuit-hop",
+                    reliable=True,
                 )
             )
         return Route(src, dst, choices)
 
     def choose_circuit_route(self, src: Host, dst: Host, available: List[str]) -> RouteChoice:
         """Like :meth:`choose_circuit`, but pairs with no common network fall
-        back to the routed VLink adapter when a gateway path exists."""
+        back to the routed VLink adapter when a gateway path exists — with
+        the per-hop methods pinned through :meth:`pin_circuit_route` and
+        carried on the returned choice's ``via`` route."""
         profile = self.topology.link_profile(src, dst)
         if profile.link_class is not LinkClass.NONE:
             return self.choose_circuit(src, dst, available)
-        hops = self.routing.host_path(src, dst)  # raises when unreachable
+        pinned = self.pin_circuit_route(src, dst)  # raises when unreachable
         candidates = self._candidates(
             LinkClass.ROUTED, _DEFAULT_CIRCUIT, self.preferences.circuit_methods
         )
         for method in candidates:
             if method in available:
-                via = "->".join(h.dst.name for h in hops[:-1])
                 return RouteChoice(
                     method=method,
                     network=None,
                     link_class=LinkClass.ROUTED,
                     cross_paradigm=method in _CROSS_PARADIGM_CIRCUIT,
                     reason=(
-                        f"Circuit on routed link {src.name}->{dst.name} "
-                        f"via {via}: picked {method!r} from {candidates}"
+                        f"Circuit on routed link {src.name}->{dst.name}: "
+                        f"picked {method!r} from {candidates}, "
+                        f"pinned {pinned.describe()}"
                     ),
                     src=src,
                     dst=dst,
+                    via=pinned,
                 )
         raise AbstractionError(
             f"no available Circuit method for routed link {src.name}->{dst.name}; "

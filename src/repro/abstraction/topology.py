@@ -16,7 +16,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from repro.simnet.cost import MB, MILLISECOND
+from repro.simnet.cost import MILLISECOND
 from repro.simnet.host import Host
 from repro.simnet.network import Network
 
@@ -392,7 +392,9 @@ class TopologyKB:
             return LinkProfile(a, b, LinkClass.NONE, [], None, cross_site)
         networks = self.networks_between(a, b)
         if a is b:
-            return LinkProfile(a, b, LinkClass.LOCAL, networks, self.best_network(networks), cross_site)
+            return LinkProfile(
+                a, b, LinkClass.LOCAL, networks, self.best_network(networks), cross_site
+            )
         if not networks:
             return LinkProfile(a, b, LinkClass.NONE, [], None, cross_site)
         best = self.best_network(networks)

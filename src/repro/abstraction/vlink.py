@@ -31,13 +31,14 @@ from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.simnet.engine import SimEvent
 from repro.simnet.host import Host
-from repro.abstraction.common import AbstractionError, VLINK_LAYER_OVERHEAD
+from repro.abstraction.common import AbstractionError
 from repro.abstraction.routing import (
     GATEWAY_RELAY_PORT,
     GATEWAY_RELAY_SERVICE,
     MAX_RELAY_TTL,
     Route,
     RouteChoice,
+    encode_pinned_hops,
     pack_relay_hello,
 )
 from repro.abstraction.selector import Selector
@@ -84,7 +85,13 @@ class VLinkOperation(SimEvent):
 class VLink:
     """A VLink descriptor: one established (or in-progress) connection."""
 
-    def __init__(self, manager: "VLinkManager", driver_name: str, conn, route: "Optional[RouteChoice | Route]" = None):
+    def __init__(
+        self,
+        manager: "VLinkManager",
+        driver_name: str,
+        conn,
+        route: "Optional[RouteChoice | Route]" = None,
+    ):
         self.manager = manager
         self.sim = manager.sim
         self.driver_name = driver_name
@@ -302,20 +309,47 @@ class VLinkManager:
         method: Optional[str] = None,
         relay_ttl: int = MAX_RELAY_TTL,
         reliable_only: bool = False,
+        route: Optional[Route] = None,
+        params: Optional[Dict[str, float]] = None,
     ) -> VLinkOperation:
         """Post a connect to ``dst_host:port``.
 
         The driver is chosen by (in decreasing priority) the explicit
-        ``method`` argument, the selector's route for the link, or — with
-        neither available — a plain preference for straight drivers.  When
-        the selector returns a multi-hop route, the connection is opened to
-        the first gateway's relay service, which store-and-forwards towards
-        the destination (``relay_ttl`` bounds the remaining chain length).
-        ``reliable_only`` restricts selection to drivers that never give up
-        bytes (adaptive rails need that guarantee).
+        ``method`` argument, a pre-pinned ``route`` (route-aware Circuits,
+        adaptive route providers and relay continuations pass one), the
+        selector's route for the link, or — with none available — a plain
+        preference for straight drivers.  For a multi-hop route the
+        connection is opened to the first gateway's relay service, which
+        store-and-forwards towards the destination (``relay_ttl`` bounds the
+        remaining chain length) honouring the route's pinned per-hop methods
+        when given.  ``reliable_only`` restricts selection to drivers that
+        never give up bytes (adaptive rails need that guarantee); ``params``
+        carries per-connection method parameters (e.g. ``streams``,
+        ``tolerance``) for drivers that support tuning.
         """
         op = VLinkOperation(self.sim, "connect")
-        route: Optional[RouteChoice | Route] = None
+        chosen: Optional[RouteChoice | Route] = None
+        if method is None and route is not None and route.hops:
+            first = route.first
+            if not route.is_direct:
+                # relay legs always require reliability; the first hop's
+                # driver (and the gateway's relay) must be usable here —
+                # otherwise the pinning is stale and live selection takes
+                # over.
+                if (
+                    first.dst is not None
+                    and self._pinned_usable(first, first.dst, True)
+                    and first.dst.has_service(GATEWAY_RELAY_SERVICE)
+                ):
+                    self._connect_via_relay(route, dst_host, port, relay_ttl, op)
+                    return op
+            elif self._pinned_usable(first, dst_host, reliable_only):
+                chosen = route
+                method = first.method
+                if params is None and first.params:
+                    params = dict(first.params)
+            # else: the pinned decision is gone/unreachable — fall back to
+            # live selection below.
         if method is None:
             if self.selector is not None:
                 available = (
@@ -327,22 +361,53 @@ class VLinkManager:
                 if not full_route.is_direct:
                     self._connect_via_relay(full_route, dst_host, port, relay_ttl, op)
                     return op
-                route = full_route.first
-                method = route.method
+                chosen = full_route.first
+                method = chosen.method
+                if params is None and chosen.params:
+                    params = dict(chosen.params)
             else:
                 method = self._fallback_method(dst_host)
         driver = self.resolve_driver(method, dst_host)
 
         def _connected(ev):
             if ev.ok:
-                link = VLink(self, driver.name, ev.value, route)
+                link = VLink(self, driver.name, ev.value, chosen)
                 if not op.triggered:
                     op.succeed(link)
             elif not op.triggered:
                 op.fail(ev.value)
 
-        driver.connect(dst_host, port).add_callback(_connected)
+        self._driver_connect(driver, dst_host, port, params, reliable_only).add_callback(
+            _connected
+        )
         return op
+
+    def _pinned_usable(self, choice: RouteChoice, dst_host: Host, reliable_only: bool) -> bool:
+        """Can a pinned hop decision still be executed here right now?"""
+        try:
+            driver = self.resolve_driver(choice.method, dst_host)
+        except AbstractionError:
+            return False
+        if not driver.reaches(dst_host):
+            return False
+        if reliable_only and not getattr(driver, "reliable", True):
+            return False
+        return True
+
+    @staticmethod
+    def _driver_connect(driver, dst_host: Host, port: int, params, reliable_only: bool):
+        """Open the driver connection, applying per-connection parameters.
+
+        A reliable-only leg must never loosen reliability: a pinned
+        ``tolerance`` is forced to zero on such legs whatever the route
+        said (belt and braces — selection already derives zero there).
+        """
+        if params:
+            if reliable_only and params.get("tolerance"):
+                params = dict(params)
+                params["tolerance"] = 0.0
+            return driver.connect_with_params(dst_host, port, params)
+        return driver.connect(dst_host, port)
 
     def _connect_via_relay(
         self,
@@ -352,7 +417,12 @@ class VLinkManager:
         relay_ttl: int,
         op: VLinkOperation,
     ) -> None:
-        """Open the first leg to a gateway relay and handshake the rest."""
+        """Open the first leg to a gateway relay and handshake the rest.
+
+        The relay hello carries the route's remaining hop decisions, so the
+        chain executes the client's per-hop pinning (each relay still falls
+        back to autonomous selection when a pinned driver is unusable).
+        """
         first = route.first
         gateway = first.dst
         if not gateway.has_service(GATEWAY_RELAY_SERVICE):
@@ -365,7 +435,9 @@ class VLinkManager:
             )
             return
         driver = self.resolve_driver(first.method, gateway)
-        hello = pack_relay_hello(dst_host.name, port, relay_ttl)
+        hello = pack_relay_hello(
+            dst_host.name, port, relay_ttl, pinned=encode_pinned_hops(route.hops[1:])
+        )
 
         def _leg_open(ev):
             if not ev.ok:
@@ -392,7 +464,9 @@ class VLinkManager:
 
             conn.recv_exact(1).add_callback(_acked)
 
-        driver.connect(gateway, GATEWAY_RELAY_PORT).add_callback(_leg_open)
+        self._driver_connect(
+            driver, gateway, GATEWAY_RELAY_PORT, dict(first.params) or None, True
+        ).add_callback(_leg_open)
 
     def resolve_driver(self, method: str, dst_host: Host) -> "VLinkDriver":
         """The driver for ``method`` that actually reaches ``dst_host``.
@@ -420,17 +494,23 @@ class VLinkManager:
 
         return AdaptiveListener(self, port)
 
-    def connect_adaptive(self, dst_host: Host, port: int) -> VLinkOperation:
+    def connect_adaptive(
+        self, dst_host: Host, port: int, route_provider=None
+    ) -> VLinkOperation:
         """Open an adaptive session to ``dst_host:port``.
 
         The returned operation completes with an
         :class:`~repro.abstraction.adaptive.AdaptiveVLink`; its rail is
         re-selected (and the stream migrated without losing or reordering
         bytes) whenever the topology knowledge base changes under it.
+        ``route_provider`` (a callable returning a pinned
+        :class:`~repro.abstraction.routing.Route` or ``None``) overrides the
+        rail selection — adaptive circuit legs pass the selector's
+        circuit-hop pinning here.
         """
         from repro.abstraction.adaptive import adaptive_connect
 
-        return adaptive_connect(self, dst_host, port)
+        return adaptive_connect(self, dst_host, port, route_provider=route_provider)
 
     def adaptive_links(self) -> List:
         return list(self._adaptive_links)
@@ -467,13 +547,20 @@ class VLinkManager:
                 continue
             if self.gateway_provisioner is not None:
                 self.gateway_provisioner(link.dst_host)
-            try:
-                route = self.selector.choose_vlink_route(
-                    self.host, link.dst_host, self.reliable_driver_names(), reliable_only=True
-                )
-            except AbstractionError:
-                continue  # destination unreachable right now: keep the rail
-            if route_signature(route) != link.rail_signature:
+            route = None
+            if link.route_provider is not None:
+                route = link._provided_route()
+            if route is None:
+                try:
+                    route = self.selector.choose_vlink_route(
+                        self.host, link.dst_host, self.reliable_driver_names(), reliable_only=True
+                    )
+                except AbstractionError:
+                    continue  # destination unreachable right now: keep the rail
+            rail_dead = getattr(link, "_rail_dead", False) or (
+                link.rail is not None and link.rail.state is not VLinkState.ESTABLISHED
+            )
+            if rail_dead or route_signature(route) != link.rail_signature:
                 link.migrate(reason=f"topology change: {route.describe()}")
 
     def _fallback_method(self, dst_host: Host) -> str:

@@ -124,7 +124,9 @@ class MadIO:
         self.core = core
         self.host = core.host
         self.sim = core.sim
-        self.driver = driver or self.host.get_service(MADELEINE_SERVICE) or MadeleineDriver(self.host)
+        self.driver = (
+            driver or self.host.get_service(MADELEINE_SERVICE) or MadeleineDriver(self.host)
+        )
         self.combine_headers = combine_headers
         self._hw_channels: Dict[str, MadChannel] = {}
         self._hw_groups: Dict[str, HostGroup] = {}

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
-from repro.simnet.cost import Cost
 from repro.simnet.network import Network
 from repro.simnet.tcp import TcpConnection, TcpListener, TcpStack, SERVICE_KEY as TCP_SERVICE
 from repro.arbitration.netaccess import ArbitrationError, NetAccessCore
@@ -172,7 +171,9 @@ class SysIO:
         self.host.register_service(SYSIO_SUBSYSTEM, self, replace=True)
 
     # -- socket management ----------------------------------------------------------
-    def listen(self, port: int, accept_callback: Optional[Callable[[SysSocket], None]] = None) -> SysListener:
+    def listen(
+        self, port: int, accept_callback: Optional[Callable[[SysSocket], None]] = None
+    ) -> SysListener:
         """Open a listening socket; incoming connections invoke the callback."""
         if port in self._listeners:
             raise ArbitrationError(f"port {port} already registered with SysIO on {self.host.name}")

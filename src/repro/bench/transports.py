@@ -15,13 +15,15 @@ numbers include every layer the paper's own measurements include.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from repro.simnet.host import HostGroup
 from repro.core.framework import PadicoFramework, PadicoNode
 
 #: the message sizes of Figure 3 (32 B to 1 MB, logarithmic).
-FIGURE3_MESSAGE_SIZES = [32, 128, 512, 1024, 4096, 16384, 32768, 65536, 131072, 262144, 524288, 1000000]
+FIGURE3_MESSAGE_SIZES = [
+    32, 128, 512, 1024, 4096, 16384, 32768, 65536, 131072, 262144, 524288, 1000000,
+]
 
 
 class Transport:

@@ -127,10 +127,17 @@ class PadicoNode:
                     circuit, route, self.vlink, method=m
                 ),
             )
-        # Routed circuit links (no common network) ride plain VLinks and let
-        # the VLink manager's own route pick the gateway chain.
+        # Routed circuit links (no common network) ride plain VLinks with
+        # the per-hop methods pinned by the selector's circuit-hop policy.
         self.circuits.register_adapter_factory(
             "vlink", lambda circuit, route: VLinkCircuitAdapter(circuit, route, self.vlink)
+        )
+        # Adaptive circuits: every remote leg as a migratable session
+        # (created with `circuit(..., adaptive=True)`).
+        from repro.abstraction.adaptive_circuit import AdaptiveCircuitAdapter
+
+        self.circuits.register_adapter_factory(
+            "adaptive", lambda circuit, route: AdaptiveCircuitAdapter(circuit, route, self.vlink)
         )
 
         # Gateway relay: every booted node can store-and-forward VLink

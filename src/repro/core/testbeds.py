@@ -13,7 +13,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.simnet.host import HostGroup
 from repro.simnet.networks import LossyInternet, WanVthd

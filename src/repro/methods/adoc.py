@@ -18,10 +18,10 @@ from __future__ import annotations
 import struct
 import zlib
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Optional
 
 from repro.simnet.buffers import ByteRing
-from repro.simnet.cost import MB, MICROSECOND
+from repro.simnet.cost import MB
 from repro.simnet.engine import SimEvent
 from repro.simnet.host import Host
 from repro.arbitration.sysio import SysIO, SysSocket
@@ -173,7 +173,8 @@ class AdocVLinkDriver(VLinkDriver):
 
     def listen(self, port: int, on_incoming: Callable) -> None:
         self.sysio.listen(
-            port + self.PORT_OFFSET, lambda sock: on_incoming(AdocConnection(self, sock), sock.conn.peer_host)
+            port + self.PORT_OFFSET,
+            lambda sock: on_incoming(AdocConnection(self, sock), sock.conn.peer_host),
         )
 
     def connect(self, dst_host: Host, port: int) -> SimEvent:

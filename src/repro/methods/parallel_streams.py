@@ -105,9 +105,23 @@ class ParallelStreamConnection:
             frame = _RECORD.pack(record_id, index, length) + chunk
             sock = self.members[index]
             ev = self.sim.event(name=f"pstream-write({index})")
-            self.sim.call_later(delay, lambda s=sock, f=frame, e=ev: s.write(f).chain(e))
+            self.sim.call_later(delay, self._deferred_write, sock, frame, ev)
             events.append(ev)
         return self.sim.all_of(events)
+
+    def _deferred_write(self, sock: SysSocket, frame: bytes, ev: SimEvent) -> None:
+        """The striping delay separates write() from the member-socket send;
+        a member killed in between (churn tearing the rail down) must fail
+        the operation, not unwind the simulator."""
+        if self.closed:
+            if not ev.triggered:
+                ev.fail(ConnectionError("parallel-streams connection closed"))
+            return
+        try:
+            sock.write(frame).chain(ev)
+        except Exception as exc:
+            if not ev.triggered:
+                ev.fail(exc)
 
     def recv(self, nbytes: Optional[int] = None) -> SimEvent:
         return self.buffer.recv(nbytes)
@@ -177,11 +191,9 @@ class ParallelStreamsVLinkDriver(VLinkDriver):
                 hello = s.read_available(_HELLO.size)
                 session_id, index, total = _HELLO.unpack(hello)
                 conn = self._sessions.get(session_id)
-                created = False
                 if conn is None:
                     conn = ParallelStreamConnection(self, session_id, total, peer_name=s.peer_name)
                     self._sessions[session_id] = conn
-                    created = False
                 conn._attach_member(index, s)
                 # surface the connection to VLink once every member arrived
                 if conn.established and not getattr(conn, "_announced", False):
@@ -195,10 +207,22 @@ class ParallelStreamsVLinkDriver(VLinkDriver):
 
     # -- client side ------------------------------------------------------------------
     def connect(self, dst_host: Host, port: int) -> SimEvent:
+        return self._connect(dst_host, port, self.streams)
+
+    def connect_with_params(
+        self, dst_host: Host, port: int, params: Optional[Dict[str, float]] = None
+    ) -> SimEvent:
+        """Per-connection stream fan-out: the selector derives ``streams``
+        from the measured loss / bandwidth-delay product of the pinned hop
+        (a lossier or fatter pipe profits from more member sockets)."""
+        streams = int((params or {}).get("streams", self.streams))
+        return self._connect(dst_host, port, max(1, min(16, streams)))
+
+    def _connect(self, dst_host: Host, port: int, streams: int) -> SimEvent:
         done = self.sim.event(name=f"pstream-connect({dst_host.name}:{port})")
         session_id = self._next_session
         self._next_session += 1
-        conn = ParallelStreamConnection(self, session_id, self.streams, peer_name=dst_host.name)
+        conn = ParallelStreamConnection(self, session_id, streams, peer_name=dst_host.name)
         pending = {"count": 0}
 
         def _member_connected(index: int, ev) -> None:
@@ -207,13 +231,13 @@ class ParallelStreamsVLinkDriver(VLinkDriver):
                     done.fail(ev.value)
                 return
             sock: SysSocket = ev.value
-            sock.write(_HELLO.pack(session_id, index, self.streams))
+            sock.write(_HELLO.pack(session_id, index, streams))
             conn._attach_member(index, sock)
             pending["count"] += 1
-            if pending["count"] == self.streams and not done.triggered:
+            if pending["count"] == streams and not done.triggered:
                 done.succeed(conn)
 
-        for index in range(self.streams):
+        for index in range(streams):
             self.sysio.connect(dst_host, port + self.PORT_OFFSET).add_callback(
                 lambda ev, i=index: _member_connected(i, ev)
             )

@@ -24,7 +24,7 @@ Protocol structure reproduced here:
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from repro.simnet.buffers import ByteRing
@@ -37,6 +37,10 @@ from repro.abstraction.drivers import StreamBuffer, VLinkDriver
 
 _CTL_RECORD = struct.Struct("!BQII")   # kind, record id, total length, chunk size
 _DATA_HEADER = struct.Struct("!QII")   # record id, offset, length
+#: connection hello on the control socket: data channel id, tolerance (ppm).
+#: Carrying the tolerance lets the selector tune it per connection from the
+#: measured loss of the pinned hop; both directions apply the same value.
+_VRP_HELLO = struct.Struct("!QI")
 
 _CTL_NEW_RECORD = 1
 _CTL_RECORD_SENT = 2
@@ -91,7 +95,8 @@ class VrpConnection:
     """One VRP logical link (control over TCP, data over lossy datagrams)."""
 
     def __init__(self, driver: "VrpVLinkDriver", ctl: SysSocket, network: Network,
-                 peer_host: Host, data_channel_id: int):
+                 peer_host: Host, data_channel_id: int,
+                 tolerance: Optional[float] = None):
         self.driver = driver
         self.sim = driver.sim
         self.ctl = ctl
@@ -99,12 +104,18 @@ class VrpConnection:
         self.peer_host = peer_host
         self.peer_name = peer_host.name
         self.data_channel_id = data_channel_id
-        self.tolerance = driver.tolerance
+        self.tolerance = driver.tolerance if tolerance is None else tolerance
         self.chunk_size = min(network.mtu, 1400)
         self.buffer = StreamBuffer(driver.sim)
         self.stats = VrpStats()
         self._ctl_rx = ByteRing()
         self._records_rx: Dict[int, _RecordRx] = {}
+        # accepted records held until every earlier record was released: a
+        # record delayed by retransmission must not be overtaken by a later
+        # record that completed cleanly (VRP is a stream, not a datagram
+        # service — same ordering family as the AdOC/GSI codec fixes).
+        self._accepted_rx: Dict[int, bytes] = {}
+        self._release_next = 0
         self._records_tx: Dict[int, bytes] = {}
         self._pending_writes: Dict[int, SimEvent] = {}
         self._next_record = 0
@@ -160,7 +171,9 @@ class VrpConnection:
         if data is None:
             return
         if offset >= len(data):
-            self.ctl.write(_CTL_RECORD.pack(_CTL_RECORD_SENT, record_id, len(data), self.chunk_size))
+            self.ctl.write(
+                _CTL_RECORD.pack(_CTL_RECORD_SENT, record_id, len(data), self.chunk_size)
+            )
             return
         chunk = data[offset : offset + self.chunk_size]
         header = _DATA_HEADER.pack(record_id, offset, len(chunk))
@@ -236,14 +249,20 @@ class VrpConnection:
             return
         missing = record.total - record.received
         if missing <= record.total * self.tolerance:
-            # accept the record: tolerated holes stay zero-filled
+            # accept the record: tolerated holes stay zero-filled.  The
+            # acknowledgement goes out now (the sender may free its copy),
+            # but the payload is only released to the stream in record
+            # order.
             self.stats.bytes_delivered += record.received
             self.stats.bytes_zero_filled += missing
-            self.buffer.append(bytes(record.data[: record.total]))
+            self._accepted_rx[record.record_id] = bytes(record.data[: record.total])
             self._records_rx.pop(record.record_id, None)
             self.ctl.write(
                 _CTL_RECORD.pack(_CTL_RECORD_DONE, record.record_id, record.total, 0)
             )
+            while self._release_next in self._accepted_rx:
+                self.buffer.append(self._accepted_rx.pop(self._release_next))
+                self._release_next += 1
         else:
             # too many losses: ask the sender to resend (reliable part of VRP)
             record.sender_finished = False
@@ -304,12 +323,15 @@ class VrpVLinkDriver(VLinkDriver):
     def listen(self, port: int, on_incoming: Callable) -> None:
         def _accepted(ctl_sock: SysSocket) -> None:
             def _on_hello(s: SysSocket) -> None:
-                if s.available() < 8:
+                if s.available() < _VRP_HELLO.size:
                     return
-                channel_id = struct.unpack("!Q", s.read_available(8))[0]
+                channel_id, tolerance_ppm = _VRP_HELLO.unpack(
+                    s.read_available(_VRP_HELLO.size)
+                )
                 s.set_data_callback(None)
                 conn = VrpConnection(
-                    self, s, s.network, s.conn.peer_host, channel_id
+                    self, s, s.network, s.conn.peer_host, channel_id,
+                    tolerance=tolerance_ppm / 1e6,
                 )
                 on_incoming(conn, s.conn.peer_host)
 
@@ -319,6 +341,18 @@ class VrpVLinkDriver(VLinkDriver):
         self.sysio.listen(port + self.PORT_OFFSET, _accepted)
 
     def connect(self, dst_host: Host, port: int) -> SimEvent:
+        return self._connect(dst_host, port, self.tolerance)
+
+    def connect_with_params(
+        self, dst_host: Host, port: int, params: Optional[Dict[str, float]] = None
+    ) -> SimEvent:
+        """Per-connection loss tolerance: the selector derives it from the
+        measured loss rate of the pinned hop (relay and adaptive legs always
+        pin zero — they carry somebody else's framed stream)."""
+        tolerance = float((params or {}).get("tolerance", self.tolerance))
+        return self._connect(dst_host, port, max(0.0, min(0.5, tolerance)))
+
+    def _connect(self, dst_host: Host, port: int, tolerance: float) -> SimEvent:
         done = self.sim.event(name=f"vrp-connect({dst_host.name}:{port})")
         channel_id = self._next_channel
         self._next_channel += 1
@@ -328,8 +362,11 @@ class VrpVLinkDriver(VLinkDriver):
                 done.fail(ev.value)
                 return
             ctl_sock: SysSocket = ev.value
-            ctl_sock.write(struct.pack("!Q", channel_id))
-            conn = VrpConnection(self, ctl_sock, ctl_sock.network, dst_host, channel_id)
+            ctl_sock.write(_VRP_HELLO.pack(channel_id, int(round(tolerance * 1e6))))
+            conn = VrpConnection(
+                self, ctl_sock, ctl_sock.network, dst_host, channel_id,
+                tolerance=tolerance,
+            )
             done.succeed(conn)
 
         self.sysio.connect(dst_host, port + self.PORT_OFFSET).add_callback(_connected)

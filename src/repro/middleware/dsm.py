@@ -20,7 +20,7 @@ give the fault-injection tests a stateful protocol to stress.
 from __future__ import annotations
 
 import struct
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.simnet.cost import KB, MICROSECOND
 from repro.madeleine.message import PackMode
@@ -47,12 +47,14 @@ class DsmNode:
     """One node's view of the shared address space."""
 
     def __init__(self, node, group, *, pages: int = 64, page_size: int = 4 * KB,
-                 circuit_name: str = "dsm"):
+                 circuit_name: str = "dsm", adaptive: bool = False):
         self.node = node
         self.sim = node.sim
         self.pages = pages
         self.page_size = page_size
-        self.circuit: Circuit = node.circuit(circuit_name, group)
+        # adaptive=True rides migratable circuit legs: the shared address
+        # space survives WAN degradation / gateway death under it.
+        self.circuit: Circuit = node.circuit(circuit_name, group, adaptive=adaptive)
         self.circuit.set_receive_callback(self._on_message)
         self.rank = self.circuit.rank
         self.size = self.circuit.size

@@ -19,7 +19,7 @@ from __future__ import annotations
 import pickle
 import struct
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.simnet.cost import MICROSECOND
 from repro.personalities.syswrap import SysWrap, SysWrapSocket
@@ -89,7 +89,9 @@ class RtiGateway:
             elif kind == "join":
                 federation = msg["federation"]
                 if federation not in self._federations:
-                    yield sock.send(self._encode({"kind": "error", "message": "no such federation"}))
+                    yield sock.send(
+                        self._encode({"kind": "error", "message": "no such federation"})
+                    )
                     continue
                 federate = _Federate(msg["federate"], sock)
                 self._federations[federation][federate.name] = federate

@@ -158,7 +158,9 @@ class DataInputStream:
 class JavaSocketLayer:
     """The per-node entry point registered as the ``java-sockets`` middleware."""
 
-    def __init__(self, node, profile: Optional[JvmProfile] = None, forced_method: Optional[str] = None):
+    def __init__(
+        self, node, profile: Optional[JvmProfile] = None, forced_method: Optional[str] = None
+    ):
         self.node = node
         self.sim = node.sim
         self.profile = profile or JvmProfile()

@@ -93,7 +93,9 @@ class DirectMadeleineChannel:
         self._recv_queue.append(entry)
 
 
-def standalone_mpi_pair(network, group: HostGroup, profile=None, channel_name: str = "mpich-direct"):
+def standalone_mpi_pair(
+    network, group: HostGroup, profile=None, channel_name: str = "mpich-direct"
+):
     """Build two standalone MPI runtimes bound straight to Madeleine.
 
     Returns ``[runtime_rank0, runtime_rank1, ...]`` for every host of the

@@ -16,7 +16,7 @@ parallel abstract interface, which the concurrency tests run next to MPI.
 from __future__ import annotations
 
 import struct
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -91,11 +91,13 @@ class _RecvBuffer:
 class PvmTask:
     """One PVM task (the per-node library instance)."""
 
-    def __init__(self, node, group, circuit_name: str = "pvm"):
+    def __init__(self, node, group, circuit_name: str = "pvm", adaptive: bool = False):
         self.node = node
         self.sim = node.sim
         self.group = group
-        self.circuit: Circuit = node.circuit(circuit_name, group)
+        # adaptive=True rides migratable circuit legs (route-aware pinning +
+        # per-leg migration under churn).
+        self.circuit: Circuit = node.circuit(circuit_name, group, adaptive=adaptive)
         self.circuit.set_receive_callback(self._on_message)
         self._send_buffer: Optional[_SendBuffer] = None
         self._recv_buffer: Optional[_RecvBuffer] = None

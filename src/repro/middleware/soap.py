@@ -107,7 +107,9 @@ def build_envelope(operation: str, params: Dict[str, SoapValue]) -> str:
 
 def parse_envelope(xml: str) -> Tuple[str, List[Tuple[str, SoapValue]]]:
     """Parse an envelope; returns ``(operation, [(param, value), ...])``."""
-    match = re.search(r"<m:(?P<op>[\w]+) xmlns:m=\"urn:repro\">(?P<body>.*?)</m:(?P=op)>", xml, re.S)
+    match = re.search(
+        r"<m:(?P<op>[\w]+) xmlns:m=\"urn:repro\">(?P<body>.*?)</m:(?P=op)>", xml, re.S
+    )
     if match is None:
         fault = re.search(r"<faultstring>(?P<msg>.*?)</faultstring>", xml, re.S)
         if fault:
@@ -229,14 +231,18 @@ class SoapClient:
     def call(self, operation: str, **params):
         """Invoke ``operation`` with keyword parameters (generator)."""
         envelope = build_envelope(operation, params).encode("utf-8")
-        yield self.sim.timeout(self.profile.per_call_overhead + len(envelope) / self.profile.encode_bandwidth)
+        yield self.sim.timeout(
+            self.profile.per_call_overhead + len(envelope) / self.profile.encode_bandwidth
+        )
         if self._sock is None:
             sock = self.syswrap.socket()
             yield sock.connect((self.server_host, self.port))
             self._sock = sock
         yield self._sock.send(http_post("/soap", str(self.server_host), envelope))
         headers, body = yield from _read_http_message(self._sock)
-        yield self.sim.timeout(self.profile.per_call_overhead + len(body) / self.profile.encode_bandwidth)
+        yield self.sim.timeout(
+            self.profile.per_call_overhead + len(body) / self.profile.encode_bandwidth
+        )
         operation_name, params_out = parse_envelope(body.decode("utf-8"))
         for name, value in params_out:
             if name == "return":

@@ -181,7 +181,8 @@ class TopologyMonitor:
 
     def _should_push(self, watch: LinkWatch, estimate: MeasuredLink) -> bool:
         """Push on a class flip or a material drift vs the current belief."""
-        if self._classify(estimate, watch.network, watch.believed_class) is not watch.believed_class:
+        believed = watch.believed_class
+        if self._classify(estimate, watch.network, believed) is not believed:
             return True
         return self._changed(watch.believed, estimate)
 

@@ -91,7 +91,8 @@ class SysWrapSocket:
             else:
                 done.fail(op.value)
 
-        self.syswrap.manager.connect(host, int(port), method=self.syswrap.forced_method).set_handler(
+        attempt = self.syswrap.manager.connect(host, int(port), method=self.syswrap.forced_method)
+        attempt.set_handler(
             _connected
         )
         return done

@@ -23,7 +23,7 @@ assert *where* time went (e.g. "MadIO adds < 0.1 µs over plain Madeleine").
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Tuple
 
 MICROSECOND = 1e-6
 MILLISECOND = 1e-3
@@ -97,7 +97,9 @@ class Cost:
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        parts = ", ".join(f"{k}={v / MICROSECOND:.3f}us" for k, v in sorted(self._breakdown.items()))
+        parts = ", ".join(
+            f"{k}={v / MICROSECOND:.3f}us" for k, v in sorted(self._breakdown.items())
+        )
         return f"<Cost {self.microseconds:.3f}us [{parts}]>"
 
 

@@ -14,7 +14,7 @@ and software costs rather than being hard-coded anywhere.
 
 from __future__ import annotations
 
-from typing import Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING
 
 from repro.simnet.cost import MB, MICROSECOND, MILLISECOND
 from repro.simnet.network import Network, PARADIGM_DISTRIBUTED, PARADIGM_PARALLEL

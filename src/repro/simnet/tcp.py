@@ -33,7 +33,7 @@ from repro.simnet.cost import Cost, KB
 from repro.simnet.network import Delivery, Network, PARADIGM_DISTRIBUTED
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.simnet.engine import SimEvent, Simulator
+    from repro.simnet.engine import SimEvent
     from repro.simnet.host import Host
 
 

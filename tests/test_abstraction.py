@@ -4,13 +4,10 @@ import pytest
 
 from tests.helpers import run
 
-from repro.simnet.cost import MICROSECOND
 from repro.abstraction import (
     AbstractionError,
     LinkClass,
     Preferences,
-    Selector,
-    TopologyKB,
 )
 from repro.abstraction.circuit import circuit_port
 from repro.core import paper_cluster, two_cluster_grid

@@ -9,7 +9,7 @@ from repro.abstraction import LinkClass, Route, VLinkState
 from repro.core import PadicoFramework
 from repro.methods import register_wan_method_drivers
 from repro.simnet.cost import Cost
-from repro.simnet.networks import Ethernet100, Myrinet2000, WanVthd
+from repro.simnet.networks import Ethernet100, WanVthd
 
 
 def wan_pair_with_backup(register_methods=False):

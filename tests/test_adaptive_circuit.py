@@ -1,0 +1,210 @@
+"""Adaptive Circuits: per-leg migration for group endpoints.
+
+A circuit created with ``adaptive=True`` rides every remote leg on an
+offset-framed adaptive session whose rail follows the selector's
+circuit-hop pinning; when a hop degrades or a gateway dies only the
+affected leg migrates, and per-source byte order across the group is
+preserved through the cumulative-ack resume handshake.
+"""
+
+from repro.core import PadicoFramework
+from repro.simnet.networks import Ethernet100, WanVthd
+
+
+CHUNK = 16 * 1024
+
+
+def _pattern(i: int, size: int = CHUNK) -> bytes:
+    return bytes((j + i) % 251 for j in range(size))
+
+
+def dual_gateway_deployment():
+    """Two clusters, two independent gateway/WAN paths between them.
+
+    a0, a1 share lan-a with gateways ga1/ga2; b0 sits on lan-b with
+    gateways gb1/gb2; wan1 joins ga1--gb1, wan2 joins ga2--gb2.  Killing
+    wan1 (or ga1) leaves the ga2/wan2 path as the escape route.
+    """
+    fw = PadicoFramework()
+    for name, site in [
+        ("a0", "sa"), ("a1", "sa"), ("ga1", "sa"), ("ga2", "sa"),
+        ("b0", "sb"), ("gb1", "sb"), ("gb2", "sb"),
+    ]:
+        fw.add_host(name, site=site)
+    lan_a = fw.add_network(Ethernet100(fw.sim, "lan-a"))
+    lan_b = fw.add_network(Ethernet100(fw.sim, "lan-b"))
+    wan1 = fw.add_network(WanVthd(fw.sim, "wan1"))
+    wan2 = fw.add_network(WanVthd(fw.sim, "wan2", seed=9))
+    for h in ("a0", "a1", "ga1", "ga2"):
+        lan_a.connect(fw.host(h))
+    for h in ("b0", "gb1", "gb2"):
+        lan_b.connect(fw.host(h))
+    wan1.connect(fw.host("ga1")), wan1.connect(fw.host("gb1"))
+    wan2.connect(fw.host("ga2")), wan2.connect(fw.host("gb2"))
+    fw.boot()
+    return fw, wan1, wan2
+
+
+def make_adaptive_pair(fw, names, circuit_name):
+    group = fw.group(names, f"{circuit_name}-group")
+    circuits = [fw.node(n).circuit(circuit_name, group, adaptive=True) for n in names]
+    return group, circuits
+
+
+def test_adaptive_circuit_exposes_a_session_and_pinned_rails():
+    fw, _, _ = dual_gateway_deployment()
+    _, (ca, cb) = make_adaptive_pair(fw, ["a0", "b0"], "smoke")
+    got = {}
+    cb.set_receive_callback(lambda s, inc, r: got.setdefault("data", inc.unpack_express()))
+
+    def scenario():
+        yield ca.send(1, _pattern(0))
+
+    fw.sim.process(scenario())
+    fw.sim.run(max_time=10.0)
+    assert got.get("data") == _pattern(0)
+    assert ca.adaptive is not None
+    session = ca.adaptive.describe()
+    assert session["legs"] == 1
+    assert session["migrations"] == 0
+    # the leg's rail follows circuit-hop pinning: relay route with the WAN
+    # hop on a pinned WAN method
+    route = ca.adaptive.leg_routes()[1]
+    assert "parallel_streams" in route or "adoc" in route
+
+
+def test_adaptive_leg_migrates_when_its_wan_dies_and_order_survives():
+    fw, wan1, _ = dual_gateway_deployment()
+    _, (ca, cb) = make_adaptive_pair(fw, ["a0", "b0"], "mig")
+    received = []
+    cb.set_receive_callback(lambda s, inc, r: received.append(inc.unpack_express()))
+
+    total = 40
+    injector = fw.fault_injector(seed=7, announce=True)
+    injector.fail_link_at(0.08, wan1)
+
+    def scenario():
+        last = None
+        for i in range(total):
+            last = ca.send(1, _pattern(i))
+        yield last
+
+    fw.sim.process(scenario())
+    fw.sim.run(max_time=30.0)
+    assert len(received) == total
+    assert all(received[i] == _pattern(i) for i in range(total))
+    assert ca.adaptive.migrations() >= 1
+    # the leg re-pinned onto the surviving gateway path
+    assert "ga2" in ca.adaptive.leg_routes()[1]
+
+
+def test_only_the_affected_leg_migrates():
+    """A member talking to both a local and a remote peer keeps the local
+    leg untouched when the remote leg's WAN dies."""
+    fw, wan1, _ = dual_gateway_deployment()
+    _, (ca, c_local, c_remote) = make_adaptive_pair(fw, ["a0", "a1", "b0"], "leg")
+    local_got, remote_got = [], []
+    c_local.set_receive_callback(lambda s, inc, r: local_got.append(inc.unpack_express()))
+    c_remote.set_receive_callback(lambda s, inc, r: remote_got.append(inc.unpack_express()))
+
+    total = 24
+    injector = fw.fault_injector(seed=11, announce=True)
+    injector.fail_link_at(0.06, wan1)
+
+    def scenario():
+        last = None
+        for i in range(total):
+            ca.send(1, _pattern(i))
+            last = ca.send(2, _pattern(i))
+        yield last
+
+    fw.sim.process(scenario())
+    fw.sim.run(max_time=30.0)
+    assert len(local_got) == total and len(remote_got) == total
+    legs = ca.adaptive.legs()
+    assert legs[2].migrations >= 1, "the routed leg should have migrated"
+    assert legs[1].migrations == 0, "the intra-cluster leg must not migrate"
+
+
+def test_gateway_death_migrates_the_leg():
+    """Killing the gateway host (not just the wire) tears the relay splice
+    down; the leg resumes through the other gateway pair."""
+    fw, _, _ = dual_gateway_deployment()
+    _, (ca, cb) = make_adaptive_pair(fw, ["a0", "b0"], "gwkill")
+    received = []
+    cb.set_receive_callback(lambda s, inc, r: received.append(inc.unpack_express()))
+
+    total = 40
+    injector = fw.fault_injector(seed=13, announce=True)
+    injector.kill_host_at(0.08, fw.host("ga1"))
+
+    def scenario():
+        last = None
+        for i in range(total):
+            last = ca.send(1, _pattern(i))
+        yield last
+
+    fw.sim.process(scenario())
+    fw.sim.run(max_time=30.0)
+    assert len(received) == total
+    assert all(received[i] == _pattern(i) for i in range(total))
+    assert ca.adaptive.migrations() >= 1
+    assert "ga2" in ca.adaptive.leg_routes()[1]
+
+
+def test_adaptive_circuit_is_bidirectional_per_source_ordered():
+    """Both directions of the mesh ride adaptive sessions; each member's
+    stream stays ordered at every destination across a migration."""
+    fw, wan1, _ = dual_gateway_deployment()
+    _, (ca, cb) = make_adaptive_pair(fw, ["a0", "b0"], "bidi")
+    at_a, at_b = [], []
+    ca.set_receive_callback(lambda s, inc, r: at_a.append(inc.unpack_express()))
+    cb.set_receive_callback(lambda s, inc, r: at_b.append(inc.unpack_express()))
+
+    total = 24
+    injector = fw.fault_injector(seed=17, announce=True)
+    injector.fail_link_at(0.06, wan1)
+
+    def scenario():
+        last = None
+        for i in range(total):
+            ca.send(1, _pattern(2 * i))
+            last = cb.send(0, _pattern(2 * i + 1))
+        yield last
+
+    fw.sim.process(scenario())
+    fw.sim.run(max_time=30.0)
+    assert [len(p) for p in at_b] == [CHUNK] * total
+    assert all(at_b[i] == _pattern(2 * i) for i in range(total))
+    assert all(at_a[i] == _pattern(2 * i + 1) for i in range(total))
+
+
+def test_adaptive_rejects_forced_methods():
+    """Forcing a per-rank adapter contradicts migratable sessions; the
+    combination must fail loudly, not silently measure the wrong transport."""
+    import pytest
+
+    from repro.abstraction.common import AbstractionError
+
+    fw, _, _ = dual_gateway_deployment()
+    group = fw.group(["a0", "a1"], "forced-group")
+    with pytest.raises(AbstractionError):
+        fw.node("a0").circuit("forced", group, adaptive=True, methods={1: "sysio"})
+
+
+def test_dsm_rides_adaptive_circuits():
+    """Middleware entry point: the DSM can opt into adaptive circuits."""
+    from repro.middleware.dsm import DsmNode
+
+    fw, _, _ = dual_gateway_deployment()
+    group = fw.group(["a0", "b0"], "dsm-group")
+    nodes = [DsmNode(fw.node(n), group, pages=4, adaptive=True) for n in ("a0", "b0")]
+    assert all(n.circuit.adaptive is not None for n in nodes)
+
+    def scenario():
+        yield from nodes[0].write(1, b"adaptive-dsm")
+        data = yield from nodes[1].read(1)
+        return data
+
+    data = fw.sim.run(until=fw.sim.process(scenario()), max_time=30.0)
+    assert data[: len(b"adaptive-dsm")] == b"adaptive-dsm"

@@ -1,6 +1,5 @@
 """Unit tests for the zero-copy byte ring."""
 
-import pytest
 
 from repro.simnet.buffers import ByteRing
 

@@ -1,0 +1,130 @@
+"""Per-source delivery-order regression tests for Circuit receive paths.
+
+The size-dependent-delay reordering family (fixed for MadVLink in PR 1, the
+AdOC/GSI codecs and ``StreamMeshCircuitAdapter._send_on`` in PR 2, and the
+TCP segment path in PR 3) had one remaining member: ``Circuit._deliver``
+schedules each message's consumer callback at the message's own
+``ready_time()``, which includes size-dependent receive-side costs — so a
+later small message from the same source could overtake an earlier large
+one.  Deliveries are now serialized per source rank.
+"""
+
+from repro.core import PadicoFramework
+from repro.simnet.networks import grid_deployment
+
+
+BIG = 512 * 1024
+SMALL = 64
+
+
+def _patterned(n: int, salt: int) -> bytes:
+    return bytes((i + salt) % 251 for i in range(n))
+
+
+def test_madio_circuit_deliveries_never_reorder_across_sizes():
+    """A small message sent right after a large one on a MadIO circuit must
+    not arrive first: its cheaper receive-side processing used to let its
+    callback fire before the large message's."""
+    fw = PadicoFramework()
+    fw.add_cluster(["m0", "m1"], site="san")
+    fw.boot()
+    group = fw.group(["m0", "m1"], "order-group")
+    tx = fw.node("m0").circuit("order", group)
+    rx = fw.node("m1").circuit("order", group)
+
+    arrived = []
+    rx.set_receive_callback(
+        lambda src, incoming, _rx: arrived.append(incoming.payload_bytes)
+    )
+    assert tx.route_for(1).method == "madio"
+
+    def scenario():
+        done_big = tx.send(1, _patterned(BIG, 1))
+        done_small = tx.send(1, _patterned(SMALL, 2))
+        yield done_big
+        yield done_small
+
+    fw.sim.process(scenario())
+    fw.sim.run(max_time=5.0)
+    assert arrived == [BIG, SMALL]
+
+
+def test_routed_circuit_double_gateway_transfer_is_ordered_and_intact():
+    """Mixed-size messages over a double-gateway routed circuit leg arrive
+    complete, in per-source order, with intact content (circuit-level mirror
+    of tests/test_tcp.py::test_segment_appends_never_reorder_across_sizes)."""
+    fw = PadicoFramework()
+    grid = grid_deployment(fw, rows=2, cols=2, hosts_per_cluster=4)
+    fw.boot()
+    src = grid.clusters[0][-1]
+    dst = grid.clusters[1][1]  # no common network: two gateway relays
+    group = fw.group([src.name, dst.name], "routed-group")
+    tx = fw.node(src.name).circuit("routed-order", group)
+    rx = fw.node(dst.name).circuit("routed-order", group)
+    assert tx.route_for(1).link_class.value == "routed"
+
+    sizes = [256 * 1024, 128, 64 * 1024, 32, 96 * 1024]
+    received = []
+    rx.set_receive_callback(
+        lambda src_rank, incoming, _rx: received.append(incoming.unpack_express())
+    )
+
+    def scenario():
+        last = None
+        for i, size in enumerate(sizes):
+            last = tx.send(1, _patterned(size, i))
+        yield last
+
+    fw.sim.process(scenario())
+    fw.sim.run(max_time=60.0)
+    assert [len(p) for p in received] == sizes
+    for i, payload in enumerate(received):
+        assert payload == _patterned(sizes[i], i)
+
+
+def test_vrp_records_release_in_order_across_retransmission():
+    """A VRP record delayed by retransmission must not be overtaken by a
+    later record that completed cleanly: records are acknowledged on
+    completion but released to the stream strictly in record order."""
+    from repro.methods.vrp import _DATA_HEADER, VrpVLinkDriver
+    from repro.simnet.networks import GigabitEthernet
+
+    fw = PadicoFramework()
+    a = fw.add_host("va")
+    b = fw.add_host("vb")
+    net = fw.add_network(GigabitEthernet(fw.sim, "vlan"))
+    net.connect(a), net.connect(b)
+    fw.boot()
+    fw.node("va").vlink.register_driver(VrpVLinkDriver(fw.node("va").sysio, tolerance=0.0))
+    fw.node("vb").vlink.register_driver(VrpVLinkDriver(fw.node("vb").sysio, tolerance=0.0))
+
+    # deterministic fault: drop every first-transmission datagram of record 0
+    # so record 1 completes before record 0's retransmission lands.
+    real_transmit = net.transmit_datagram
+    dropped = {"count": 0}
+
+    def lossy_transmit(src, dst, payload, **kwargs):
+        if kwargs.get("channel", ("",))[0] == "vrp-data":
+            record_id, _off, _len = _DATA_HEADER.unpack_from(payload, 0)
+            if record_id == 0 and dropped["count"] < 4:
+                dropped["count"] += 1
+                return None
+        return real_transmit(src, dst, payload, **kwargs)
+
+    net.transmit_datagram = lossy_transmit
+
+    listener = fw.node("vb").vlink_listen(9500)
+    first, second = _patterned(4096, 5), _patterned(4096, 9)
+
+    def scenario():
+        acc = listener.accept()
+        client = yield fw.node("va").vlink_connect(fw.node("vb"), 9500, method="vrp")
+        server = yield acc
+        client.write(first)
+        client.write(second)
+        data = yield server.read(len(first) + len(second))
+        return data
+
+    data = fw.sim.run(until=fw.sim.process(scenario()), max_time=30.0)
+    assert dropped["count"] > 0, "the fault injection never engaged"
+    assert data == first + second

@@ -25,7 +25,6 @@ from repro.middleware.corba import (
     Servant,
     SequenceTC,
     StructTC,
-    TC_BOOLEAN,
     TC_DOUBLE,
     TC_DOUBLE_SEQ,
     TC_LONG,

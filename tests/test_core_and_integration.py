@@ -172,7 +172,9 @@ def test_concurrent_mpi_and_corba_on_the_same_nodes():
     fw, group = paper_cluster(2)
     comms = [MpiRuntime(fw.node(h.name), group).comm_world for h in group]
 
-    iface = Interface("IDL:Monitor:1.0", [Operation("progress", params=(("step", TC_LONG),), result=TC_LONG)])
+    iface = Interface(
+        "IDL:Monitor:1.0", [Operation("progress", params=(("step", TC_LONG),), result=TC_LONG)]
+    )
 
     class Monitor(Servant):
         def __init__(self):
@@ -242,8 +244,12 @@ def test_two_cluster_grid_mpi_inside_corba_across():
     from repro.middleware.mpi import MpiRuntime, SUM
 
     fw, cluster_a, cluster_b, grid = two_cluster_grid(2)
-    comms_a = [MpiRuntime(fw.node(h.name), cluster_a, channel_name="a").comm_world for h in cluster_a]
-    comms_b = [MpiRuntime(fw.node(h.name), cluster_b, channel_name="b").comm_world for h in cluster_b]
+    comms_a = [
+        MpiRuntime(fw.node(h.name), cluster_a, channel_name="a").comm_world for h in cluster_a
+    ]
+    comms_b = [
+        MpiRuntime(fw.node(h.name), cluster_b, channel_name="b").comm_world for h in cluster_b
+    ]
 
     iface = Interface("IDL:Coupler:1.0",
                       [Operation("exchange", params=(("value", TC_DOUBLE),), result=TC_DOUBLE)])
@@ -297,7 +303,9 @@ def test_arbitration_fairness_vs_competitive_baseline():
         if competitive:
             for h in group:
                 fw.node(h.name).netaccess.set_competitive_baseline("madio")
-        iface = Interface("IDL:P:1.0", [Operation("poke", params=(("x", TC_LONG),), result=TC_LONG)])
+        iface = Interface(
+            "IDL:P:1.0", [Operation("poke", params=(("x", TC_LONG),), result=TC_LONG)]
+        )
 
         class P(Servant):
             def poke(self, x):

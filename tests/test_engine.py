@@ -10,10 +10,8 @@ from repro.simnet.engine import (
     Interrupt,
     Process,
     ReferenceSimulator,
-    SimEvent,
     SimulationError,
     Simulator,
-    Timeout,
 )
 
 

@@ -6,7 +6,6 @@ from tests.helpers import run
 
 from repro.methods import (
     AdocCodec,
-    AdocVLinkDriver,
     ParallelStreamsVLinkDriver,
     SecureVLinkDriver,
     SiteCredential,

@@ -21,7 +21,7 @@ from repro.monitoring import (
     SlidingWindowEstimator,
     poisson_thinning_times,
 )
-from repro.simnet.networks import Ethernet100, Myrinet2000, WanVthd
+from repro.simnet.networks import Ethernet100, WanVthd
 
 
 def wan_pair_with_backup():

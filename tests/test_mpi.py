@@ -283,7 +283,8 @@ def test_gather_scatter_allgather_alltoall(cluster4):
 
     def gen(comm, rank):
         gathered = yield from comm.gather(rank * 10, root=0)
-        scattered = yield from comm.scatter([f"item{i}" for i in range(comm.size)] if rank == 0 else None, root=0)
+        items = [f"item{i}" for i in range(comm.size)] if rank == 0 else None
+        scattered = yield from comm.scatter(items, root=0)
         allgathered = yield from comm.allgather(rank)
         alltoall = yield from comm.alltoall([f"{rank}->{dst}" for dst in range(comm.size)])
         return gathered, scattered, allgathered, alltoall

@@ -1,6 +1,5 @@
 """Tests for Java sockets, SOAP, HLA, PVM and DSM middleware."""
 
-import numpy as np
 import pytest
 
 from tests.helpers import run
@@ -106,7 +105,10 @@ def test_soap_rpc_end_to_end(cluster):
     fw, group = cluster
     server = SoapServer(fw.node(group[1].name), 18200)
     state = {}
-    server.register("set_progress", lambda step=0, residual=0.0: state.update(step=step, residual=residual) or True)
+    server.register(
+        "set_progress",
+        lambda step=0, residual=0.0: state.update(step=step, residual=residual) or True,
+    )
     server.register("get_step", lambda: state.get("step", -1))
     client = SoapClient(fw.node(group[0].name), fw.node(group[1].name).host, 18200)
 

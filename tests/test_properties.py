@@ -32,7 +32,10 @@ COMMON = settings(max_examples=60, deadline=None, suppress_health_check=[HealthC
 
 
 @COMMON
-@given(total=st.integers(min_value=0, max_value=10_000_000), parts=st.integers(min_value=1, max_value=64))
+@given(
+    total=st.integers(min_value=0, max_value=10_000_000),
+    parts=st.integers(min_value=1, max_value=64),
+)
 def test_split_even_partitions_exactly(total, parts):
     chunks = split_even(total, parts)
     assert len(chunks) == parts
@@ -160,7 +163,8 @@ def test_cdr_double_sequence_roundtrip(values):
 @COMMON
 @given(st.integers(min_value=0, max_value=2**32 - 1),
        st.binary(min_size=1, max_size=64),
-       st.text(alphabet=st.characters(min_codepoint=33, max_codepoint=126), min_size=1, max_size=30),
+       st.text(alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+               min_size=1, max_size=30),
        st.binary(max_size=4096))
 def test_giop_request_roundtrip(request_id, key, operation, body):
     msg = make_request(request_id, key, operation, body)

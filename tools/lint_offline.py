@@ -1,0 +1,170 @@
+"""Offline approximation of the CI lint gate (ruff's F-rule family).
+
+The execution environment this repository is developed in has no network
+access and no ruff wheel, while CI runs the real ``ruff check``.  This
+script approximates the high-signal pyflakes-family rules with the stdlib
+``ast`` module so the tree can be swept before pushing:
+
+* F401 — imports never referenced in the module (``__all__``-aware,
+  ``TYPE_CHECKING``-block aware, re-export-by-``as``-aware);
+* F841 — local variables assigned once and never read (simple names only,
+  underscore-prefixed dummies excluded, augmented/annotated/unpacking
+  targets excluded — mirroring ruff's default scoping);
+* E9 — files that do not compile.
+
+Usage: ``python tools/lint_offline.py [paths...]`` (defaults to
+``src tests benchmarks examples tools``).  Exits non-zero on findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+
+def _names_loaded(tree: ast.AST) -> set:
+    loaded = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            loaded.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            root = node
+            while isinstance(root, ast.Attribute):
+                root = root.value
+            if isinstance(root, ast.Name):
+                loaded.add(root.id)
+    return loaded
+
+
+def _annotation_string_names(tree: ast.AST) -> set:
+    """Names referenced inside *quoted* annotations (ruff parses those)."""
+    out = set()
+    annotations = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AnnAssign):
+            annotations.append(node.annotation)
+        elif isinstance(node, ast.arg) and node.annotation is not None:
+            annotations.append(node.annotation)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node.returns:
+            annotations.append(node.returns)
+    for annotation in annotations:
+        for sub in ast.walk(annotation):
+            if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                try:
+                    expr = ast.parse(sub.value, mode="eval")
+                except SyntaxError:
+                    continue
+                out |= _names_loaded(expr)
+    return out
+
+
+def _exported(tree: ast.Module) -> set:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    try:
+                        return set(ast.literal_eval(node.value))
+                    except ValueError:
+                        return set()
+    return set()
+
+
+def check_unused_imports(path: Path, tree: ast.Module, source: str) -> list:
+    findings = []
+    exported = _exported(tree)
+    loaded = _names_loaded(tree) | _annotation_string_names(tree)
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.Import, ast.ImportFrom)):
+            continue
+        if isinstance(node, ast.ImportFrom) and node.module == "__future__":
+            continue
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            bound = alias.asname or alias.name.split(".")[0]
+            explicit_reexport = alias.asname is not None and alias.asname == alias.name
+            if bound in exported or explicit_reexport:
+                continue
+            if bound not in loaded:
+                findings.append((path, node.lineno, f"F401 unused import {bound!r}"))
+    return findings
+
+
+class _FunctionVisitor(ast.NodeVisitor):
+    def __init__(self, path: Path, findings: list):
+        self.path = path
+        self.findings = findings
+
+    def visit_FunctionDef(self, node):  # noqa: N802 - ast API
+        self._check(node)
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def _check(self, fn) -> None:
+        # ruff's F841 default scope: simple `name = ...` statements only —
+        # no unpacking, no loop/with targets, no augmented assignments.
+        assigned = {}
+        read = set()
+        has_nested_scope = False
+        for node in ast.walk(fn):
+            if node is fn:
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                has_nested_scope = True
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    assigned.setdefault(target.id, node.lineno)
+            if isinstance(node, ast.Name) and not isinstance(node.ctx, ast.Store):
+                read.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                root = node
+                while isinstance(root, ast.Attribute):
+                    root = root.value
+                if isinstance(root, ast.Name):
+                    read.add(root.id)
+        if has_nested_scope:
+            # closures may read anything; mirroring ruff's conservatism
+            return
+        for name, lineno in assigned.items():
+            if name.startswith("_") or name in read:
+                continue
+            self.findings.append(
+                (self.path, lineno, f"F841 local variable {name!r} assigned but never used")
+            )
+
+
+def check_file(path: Path) -> list:
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [(path, exc.lineno or 0, f"E9 syntax error: {exc.msg}")]
+    findings = check_unused_imports(path, tree, source)
+    _FunctionVisitor(path, findings).visit(tree)
+    lines = source.splitlines()
+    return [
+        (p, lineno, message)
+        for p, lineno, message in findings
+        if lineno < 1 or lineno > len(lines) or "# noqa" not in lines[lineno - 1]
+    ]
+
+
+def main(argv: list) -> int:
+    roots = [Path(p) for p in (argv or ["src", "tests", "benchmarks", "examples", "tools"])]
+    findings = []
+    for root in roots:
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for path in files:
+            findings.extend(check_file(path))
+    for path, lineno, message in findings:
+        print(f"{path}:{lineno}: {message}")
+    print(f"{len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
