@@ -53,6 +53,10 @@ _SEQ = struct.Struct("!II")  # src_rank, sequence number
 #: run a machine-independent trickle before the freeze).
 RATIO_FLOOR = 1.3
 RATIO_BASELINE_FRACTION = 0.5
+#: route-flap ceiling: the minimum-dwell hysteresis on pinned routes holds
+#: the seeded schedule to ~8 migrations (it ran ~20 before the dwell, with
+#: passive probes on the loaded backup WAN flapping the route weights).
+MIGRATIONS_CEILING = 10
 
 
 def deployment():
@@ -193,6 +197,12 @@ def test_adaptive_circuits_beat_static_under_degrade_and_gateway_kill(benchmark)
     # churn actually bit: legs migrated, and the monitoring loop (not an
     # oracle) drove the decisions
     assert adaptive["migrations"] >= 1
+    # ... but the minimum-dwell hysteresis keeps the route from flapping
+    # (this schedule migrated ~20 times before the dwell, ~8 after)
+    assert adaptive["migrations"] <= MIGRATIONS_CEILING, (
+        f"route flapping is back: {adaptive['migrations']} migrations under the "
+        f"seeded schedule (ceiling {MIGRATIONS_CEILING})"
+    )
     assert adaptive["monitor"]["reclassifications"] + adaptive["monitor"][
         "links_marked_down"
     ] >= 1

@@ -160,6 +160,13 @@ class AdaptiveVLink:
         self._write_waiters: List[Tuple[int, VLinkOperation]] = []
         self._stash: Dict[int, bytes] = {}  # defensive out-of-order hold
         self.migrations = 0
+        #: when the last successful migration attached its rail; the
+        #: manager's re-selection enforces a minimum dwell from this point
+        #: before a purely preference-driven (signature-change) migration,
+        #: so measured-metric noise cannot flap the route (dead rails and
+        #: non-viable routes bypass the dwell).
+        self.last_migration_at: Optional[float] = None
+        self._dwell_recheck = False
         self.last_migration_error: Optional[BaseException] = None
         self._migrating = False
         self._remigrate = False
@@ -537,6 +544,7 @@ class AdaptiveVLink:
         self._cancel_migration_timer()
         self._migrating = False
         self.migrations += 1
+        self.last_migration_at = self.sim.now
         self.last_migration_error = None
         self._attach_rail(rail, peer_delivered)
         self._send_ack()

@@ -49,6 +49,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 VLINK_SERVICE = "vlink"
 
+#: minimum dwell (virtual seconds) on the current rail after a successful
+#: migration before another *preference-driven* migration is allowed.
+#: Passive probes on a loaded backup WAN depress its measured bandwidth
+#: enough to flip the route weights back and forth; without a dwell every
+#: flip migrates every open session (the circuits benchmark showed ~20
+#: migrations where ~8 do the work).  Dead rails and routes through
+#: down links/hosts migrate immediately regardless.
+ROUTE_MIN_DWELL = 0.4
+
 
 class VLinkState(enum.Enum):
     IDLE = "idle"
@@ -248,6 +257,9 @@ class VLinkManager:
         self._adaptive_links: List = []
         self._topology_subscribed = False
         self._reroute_scheduled = False
+        #: route-flap hysteresis: minimum virtual time between
+        #: preference-driven migrations of one session (see ROUTE_MIN_DWELL).
+        self.route_dwell = ROUTE_MIN_DWELL
         #: optional hook run before re-routing towards a destination; the
         #: framework points it at ``ensure_gateways`` so migrations can land
         #: on relay routes whose gateways are booted on demand.
@@ -561,7 +573,60 @@ class VLinkManager:
                 link.rail is not None and link.rail.state is not VLinkState.ESTABLISHED
             )
             if rail_dead or route_signature(route) != link.rail_signature:
+                if not rail_dead and self._dwell_blocks(link):
+                    # recently migrated and the current route still works:
+                    # hold the route (flap damping) and re-evaluate when the
+                    # dwell expires.
+                    self._defer_reroute(link)
+                    continue
                 link.migrate(reason=f"topology change: {route.describe()}")
+
+    def _dwell_blocks(self, link) -> bool:
+        """True when the minimum-dwell hysteresis vetoes a preference-driven
+        migration: the session migrated less than ``route_dwell`` ago and
+        its current rail's route is still viable (no down link/host)."""
+        if self.route_dwell <= 0.0 or link.last_migration_at is None:
+            return False
+        # the deadline must be the *same float expression* `_defer_reroute`
+        # schedules its recheck for, or rounding can strand the recheck in a
+        # zero-delay loop at the expiry timestamp
+        if self.sim.now >= link.last_migration_at + self.route_dwell:
+            return False
+        return self._route_viable(link)
+
+    def _route_viable(self, link) -> bool:
+        """Is the route the current rail rides still physically usable
+        according to the knowledge base?  A route through a down link or a
+        dead host is not — hysteresis must never pin a session to it."""
+        rail = link.rail
+        if rail is None or rail.state is not VLinkState.ESTABLISHED:
+            return False
+        if self.selector is None:
+            return True
+        route = rail.route
+        hops = getattr(route, "hops", None)
+        if hops is None:
+            hops = [route] if route is not None else []
+        topology = self.selector.topology
+        for hop in hops:
+            if hop.network is not None and not topology.is_link_up(hop.network):
+                return False
+            if hop.dst is not None and not topology.is_host_up(hop.dst):
+                return False
+        return True
+
+    def _defer_reroute(self, link) -> None:
+        """Schedule one re-evaluation at the link's dwell expiry."""
+        if link._dwell_recheck:
+            return
+        link._dwell_recheck = True
+        remaining = link.last_migration_at + self.route_dwell - self.sim.now
+        self.sim.call_later(max(remaining, 0.0), self._dwell_expired, link)
+
+    def _dwell_expired(self, link) -> None:
+        link._dwell_recheck = False
+        if link.state is VLinkState.ESTABLISHED and link in self._adaptive_links:
+            self._reroute_adaptive_links()
 
     def _fallback_method(self, dst_host: Host) -> str:
         order = ["loopback"] if dst_host is self.host else []

@@ -9,9 +9,10 @@ with the standard drivers and adapter factories registered.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.simnet.engine import Simulator
+from repro.simnet.engine import SimulationError, Simulator
 from repro.simnet.host import CpuModel, Host, HostGroup
 from repro.simnet.network import Network
 from repro.simnet.networks import Ethernet100, Loopback, Myrinet2000
@@ -244,10 +245,27 @@ class PadicoNode:
 
 
 class PadicoFramework:
-    """Owns the simulated deployment: hosts, networks, selector, nodes."""
+    """Owns the simulated deployment: hosts, networks, selector, nodes.
 
-    def __init__(self, preferences: Optional[Preferences] = None):
-        self.sim = Simulator()
+    ``partitions=N`` (N > 1) shards the simulator event loop across N
+    deployment partitions (see :mod:`repro.simnet.partition`): hosts boot
+    into their partition's queue, monitoring probes and fault schedules run
+    in the partition owning the link/host, and cross-partition traffic rides
+    boundary mailboxes under the WAN-latency lookahead.  ``executor``
+    selects how the per-partition queues are driven (``"round-robin"``
+    default, ``"thread"`` opt-in); ``lookahead`` optionally caps the window
+    width below the smallest boundary-link latency.
+    """
+
+    def __init__(
+        self,
+        preferences: Optional[Preferences] = None,
+        *,
+        partitions: Optional[int] = None,
+        executor=None,
+        lookahead: Optional[float] = None,
+    ):
+        self.sim = Simulator(partitions=partitions, executor=executor, lookahead=lookahead)
         self.topology = TopologyKB()
         self.preferences = preferences or Preferences()
         self.routing = RoutingEngine(self.topology)
@@ -279,12 +297,19 @@ class PadicoFramework:
         return list(self._networks.values())
 
     def add_host(
-        self, name: str, *, cpu: Optional[CpuModel] = None, site: str = "default-site"
+        self,
+        name: str,
+        *,
+        cpu: Optional[CpuModel] = None,
+        site: str = "default-site",
+        partition: Optional[int] = None,
     ) -> Host:
         if name in self._hosts:
             raise FrameworkError(f"host name {name!r} already used")
         host = Host(self.sim, name, cpu=cpu)
         host.site = site
+        if partition is not None:
+            host.partition = partition
         self._hosts[name] = host
         self.topology.register_host(host)
         return host
@@ -337,15 +362,43 @@ class PadicoFramework:
 
     # -- boot ------------------------------------------------------------------------------
     def boot(self, names: Optional[Iterable[str]] = None) -> List[PadicoNode]:
-        """Boot the per-host runtimes (all hosts by default)."""
+        """Boot the per-host runtimes (all hosts by default).
+
+        Each node boots inside its host's event-loop partition, so anything
+        the stack schedules during bring-up lands in the partition queue
+        that will execute the host (a no-op on the single-loop kernel).
+        A node booted *on demand from model code in another partition* (a
+        relay gateway provisioned by a routed connect or an adaptive
+        migration) cannot enter the owner's mid-window queue; it boots in
+        the caller's context instead — bring-up only wires objects, and the
+        caller is the one causally waiting on the relay.  Note that such
+        runtime cross-partition provisioning mutates the gateway's node
+        state from the caller's shard: deterministic under the round-robin
+        executor, but deployments using ``executor="thread"`` must pre-boot
+        every potential gateway."""
         targets = list(names) if names is not None else list(self._hosts)
         nodes = []
+        nparts = self.sim.partition_count
         for name in targets:
             node = self._nodes.get(name)
             if node is None:
                 node = PadicoNode(self, self.host(name))
                 self._nodes[name] = node
-            node.boot()
+            partition = node.host.partition
+            if nparts > 1 and not 0 <= partition < nparts:
+                # surface the misconfiguration here, not as a confusing
+                # mid-run scheduling error on the first frame to this host
+                raise FrameworkError(
+                    f"host {name!r} is assigned to partition {partition}, but "
+                    f"the kernel has partitions 0..{nparts - 1}"
+                )
+            try:
+                ctx = self.sim.in_partition(partition)
+            except SimulationError:
+                # booted on demand from another partition's model code
+                ctx = contextlib.nullcontext(self.sim)
+            with ctx:
+                node.boot()
             nodes.append(node)
         self._booted = True
         return nodes

@@ -30,7 +30,22 @@ class MpiError(RuntimeError):
 
 
 class MpiRuntime:
-    """One MPI library instance on one node (the "MPI process")."""
+    """One MPI library instance on one node (the "MPI process").
+
+    ``channels`` selects what carries the traffic:
+
+    * ``"vmad"`` (default) — the virtual-Madeleine personality over a
+      statically bound Circuit, the historical configuration;
+    * ``"circuit"`` — the same personality over a *route-aware adaptive*
+      Circuit (``adaptive=True`` unless overridden): point-to-point and
+      collective legs follow the selector's circuit-hop pinning, relay
+      through gateways on routed groups, and migrate — preserving
+      per-source order — when monitoring degrades a hop or kills a gateway.
+      Every rank of the group must pick the same ``channels`` mode.
+
+    ``adaptive`` overrides the adaptive flag for ``channels="circuit"``
+    (``adaptive=False`` gives route-aware static legs).
+    """
 
     def __init__(
         self,
@@ -40,14 +55,34 @@ class MpiRuntime:
         profile: MpiProfile = MPICH_1_2_5,
         channel=None,
         channel_name: str = "mpi",
+        channels: str = "vmad",
+        adaptive: Optional[bool] = None,
     ):
         self.node = node
         self.sim = node.sim
         self.profile = profile
         self.group = group
+        if channels not in ("vmad", "circuit"):
+            raise MpiError(
+                f"unknown channels mode {channels!r}; expected 'vmad' or 'circuit'"
+            )
+        if channel is not None and (channels != "vmad" or adaptive is not None):
+            # an explicit channel is used as-is: silently dropping the
+            # requested mode would hand the caller a transport they did not
+            # ask for.
+            raise MpiError(
+                "channel= conflicts with channels=/adaptive=; pass one or the other"
+            )
+        if adaptive is not None and channels != "circuit":
+            raise MpiError('adaptive= requires channels="circuit"')
         if channel is None:
             personality = VirtualMadeleine(node)
-            channel = personality.open_channel(channel_name, group)
+            if channels == "vmad":
+                channel = personality.open_channel(channel_name, group)
+            else:
+                channel = personality.open_channel(
+                    channel_name, group, adaptive=True if adaptive is None else adaptive
+                )
         #: the (virtual or direct) Madeleine channel carrying all traffic.
         self.channel = channel
         self._communicators: Dict[int, "Communicator"] = {}

@@ -106,8 +106,19 @@ class FaultInjector:
         bandwidth: Optional[float] = None,
         loss_rate: Optional[float] = None,
     ) -> None:
-        """At ``at``, mutate the network's physical parameters in place."""
-        self.sim.call_at(at, self._degrade, network, latency, bandwidth, loss_rate)
+        """At ``at``, mutate the network's physical parameters in place.
+
+        On a partitioned kernel, degrading the *latency* of a boundary link
+        below the current window width is unsupported: the conservative
+        windows are sized from boundary latencies per window, so an
+        in-window drop makes later same-window sends raise
+        :class:`~repro.simnet.partition.LookaheadViolation` (a loud abort,
+        never silent reordering).  Degrade bandwidth/loss freely; pick a
+        ``lookahead=`` at or below the lowest latency a schedule will reach
+        if latency churn on boundaries is required."""
+        self.sim.call_at_partition(
+            network.owning_partition(), at, self._degrade, network, latency, bandwidth, loss_rate
+        )
 
     def _degrade(self, network, latency, bandwidth, loss_rate) -> None:
         self._save(network)
@@ -129,7 +140,7 @@ class FaultInjector:
     # -- link failure / recovery -----------------------------------------------------
     def fail_link_at(self, at: float, network: Network) -> None:
         """At ``at``, take the wire down: every frame blackholes."""
-        self.sim.call_at(at, self._fail_link, network)
+        self.sim.call_at_partition(network.owning_partition(), at, self._fail_link, network)
 
     def _fail_link(self, network: Network) -> None:
         network.up = False
@@ -139,7 +150,7 @@ class FaultInjector:
 
     def recover_link_at(self, at: float, network: Network) -> None:
         """At ``at``, bring the wire back with its original parameters."""
-        self.sim.call_at(at, self._recover_link, network)
+        self.sim.call_at_partition(network.owning_partition(), at, self._recover_link, network)
 
     def _recover_link(self, network: Network) -> None:
         network.up = True
@@ -158,7 +169,7 @@ class FaultInjector:
     def kill_host_at(self, at: float, host: Host) -> None:
         """At ``at``, kill the host: it stops sending and receiving, and a
         gateway relay running there tears down every spliced session."""
-        self.sim.call_at(at, self._kill_host, host)
+        self.sim.call_at_partition(host.partition, at, self._kill_host, host)
 
     def _kill_host(self, host: Host) -> None:
         host.up = False
@@ -170,7 +181,7 @@ class FaultInjector:
             self.topology.mark_host_down(host, detail="fault injected")
 
     def revive_host_at(self, at: float, host: Host) -> None:
-        self.sim.call_at(at, self._revive_host, host)
+        self.sim.call_at_partition(host.partition, at, self._revive_host, host)
 
     def _revive_host(self, host: Host) -> None:
         host.up = True

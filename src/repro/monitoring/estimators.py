@@ -19,11 +19,21 @@ class LinkSample:
     """One raw observation of a link, emitted by a probe."""
 
     at: float                           # virtual time of the observation
-    kind: str                           # "frame" (passive) or "ping" (active)
+    kind: str                           # "frame" (passive), "ping" (active),
+                                        # "tcp" (surfaced window-model burst)
     latency: Optional[float] = None     # achieved one-way latency, seconds
     bandwidth: Optional[float] = None   # achieved wire rate, bytes/s
     nbytes: int = 0
     lost: bool = False
+    #: per-burst packet-loss fraction (TCP window-model bursts report
+    #: ``lost_pkts / npkts`` here — the honest per-packet rate for traffic
+    #: whose losses never surface as dropped frames).  None for ordinary
+    #: hit/miss samples.
+    loss_fraction: Optional[float] = None
+    #: False for samples whose loss outcome is reported through a sibling
+    #: sample (a TCP data frame: its burst's ``loss_fraction`` sample
+    #: carries the verdict, counting the frame too would halve the rate).
+    count_loss: bool = True
 
 
 @dataclass
@@ -126,7 +136,17 @@ class LinkEstimator:
             if sample.kind == "ping":
                 self.consecutive_lost += 1
             return
-        self.loss.update(0.0)
+        if sample.loss_fraction is not None:
+            # A surfaced TCP burst: the fraction is the per-packet rate.
+            # The draw happens sender-side *before* the wire is consulted,
+            # so it proves nothing about delivery — a blackholed link keeps
+            # producing 0.0-fraction bursts — and must never refute (or
+            # argue) link death.  Liveness refutation rides the "frame"
+            # samples, which only exist when the wire accepted the frame.
+            self.loss.update(sample.loss_fraction)
+            return
+        if sample.count_loss:
+            self.loss.update(0.0)
         # any successful crossing — active or passive — refutes death
         self.consecutive_lost = 0
         if sample.latency is not None:

@@ -122,21 +122,26 @@ class TopologyMonitor:
         min_samples: int = 4,
         active: bool = True,
     ) -> LinkWatch:
-        """Start monitoring ``network``; idempotent per network."""
+        """Start monitoring ``network``; idempotent per network.
+
+        The watch (its active probe's periodic task in particular) runs in
+        the event-loop partition that owns the link, so a partitioned kernel
+        keeps probe execution next to the link it measures."""
         if network in self._watches:
             return self._watches[network]
-        watch = LinkWatch(
-            self,
-            network,
-            interval=interval,
-            # stable per-network tweak (never Python's salted hash(): the
-            # probe schedule must reproduce across processes)
-            seed=seed ^ (zlib.crc32(network.name.encode("utf-8")) & 0xFFFF),
-            alpha=alpha,
-            window=window,
-            min_samples=min_samples,
-            active=active,
-        )
+        with self.sim.in_partition(network.owning_partition()):
+            watch = LinkWatch(
+                self,
+                network,
+                interval=interval,
+                # stable per-network tweak (never Python's salted hash(): the
+                # probe schedule must reproduce across processes)
+                seed=seed ^ (zlib.crc32(network.name.encode("utf-8")) & 0xFFFF),
+                alpha=alpha,
+                window=window,
+                min_samples=min_samples,
+                active=active,
+            )
         self._watches[network] = watch
         return watch
 

@@ -14,9 +14,14 @@ Two complementary observation channels feed the estimators:
   parameters.  Catches silent degradation and death on idle links, and a
   run of lost probes is the failure-detector signal.
 
-Passive probes cannot see TCP's internal loss model (the window model draws
-losses itself rather than dropping frames), which is exactly why the active
-probe exists.
+TCP's internal loss model never drops frames (the window model absorbs the
+loss and retransmits), so TCP losses reach the passive probe through a
+dedicated ``"tcp-burst"`` observation emitted per congestion-window burst:
+it carries the burst's packet count and loss draw, and the probe turns it
+into a per-burst loss *fraction* sample.  The matching TCP data frame skips
+the implicit zero-loss update (``count_loss=False``) so the rate is not
+halved.  Active probes remain the only failure-detection signal and the
+only observation channel on idle links.
 """
 
 from __future__ import annotations
@@ -53,6 +58,9 @@ class PassiveLinkProbe:
             if tx_begin is not None and tx_end is not None and tx_end > tx_begin:
                 bandwidth = network.wire_bytes(frame.nbytes) / (tx_end - tx_begin)
             self.frames += 1
+            # the TCP layer tags its data segments: their loss verdict
+            # arrives in the burst's "tcp-burst" observation instead
+            is_tcp_data = bool(meta.get("tcp_data"))
             self.on_sample(
                 LinkSample(
                     at=network.sim.now,
@@ -60,6 +68,25 @@ class PassiveLinkProbe:
                     latency=latency,
                     bandwidth=bandwidth,
                     nbytes=frame.nbytes,
+                    # a TCP data frame's loss verdict arrives with its
+                    # burst's "tcp-burst" observation; counting the frame as
+                    # a zero-loss sample too would halve the measured rate
+                    count_loss=not is_tcp_data,
+                )
+            )
+        elif kind == "tcp-burst":
+            npkts = info.get("npkts", 0)
+            if npkts <= 0:
+                return
+            lost_pkts = info.get("lost_pkts", 0)
+            if lost_pkts:
+                self.losses += 1
+            self.on_sample(
+                LinkSample(
+                    at=network.sim.now,
+                    kind="tcp",
+                    nbytes=info.get("nbytes", 0),
+                    loss_fraction=lost_pkts / npkts,
                 )
             )
         elif kind in ("datagram-lost", "blackhole"):

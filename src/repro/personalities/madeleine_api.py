@@ -108,17 +108,34 @@ class VirtualMadeleine:
         self.sim = node.sim
         self._channels: Dict[str, VirtualMadChannel] = {}
 
-    def open_channel(self, name: str, group) -> VirtualMadChannel:
+    def open_channel(self, name: str, group, **circuit_kwargs) -> VirtualMadChannel:
         """Open (or return) the virtual channel ``name`` over ``group``.
 
         Unlike real Madeleine there is no hardware limit here: the Circuit
         below multiplexes through MadIO or SysIO as appropriate.
+        ``circuit_kwargs`` pass through to
+        :meth:`~repro.abstraction.circuit.CircuitManager.create` (e.g.
+        ``adaptive=True`` for migratable route-aware legs); every member of
+        the group must open the channel with the same flags.  The channel is
+        cached per name — the first open's flags win.
         """
         chan = self._channels.get(name)
         if chan is None:
-            circuit = self.node.circuit(f"vmad:{name}", group)
+            circuit = self.node.circuit(f"vmad:{name}", group, **circuit_kwargs)
             chan = VirtualMadChannel(self, circuit)
             self._channels[name] = chan
+        # the circuit may itself be cached (per name on the CircuitManager,
+        # shared across personality instances on this node): a reopen whose
+        # adaptive mode disagrees with what is actually running must fail
+        # loudly, not silently hand over the other transport.
+        want_adaptive = bool(circuit_kwargs.get("adaptive", False))
+        have_adaptive = chan.circuit.adaptive is not None
+        if want_adaptive != have_adaptive:
+            raise MadeleineError(
+                f"channel {name!r} is already open with adaptive={have_adaptive}; "
+                f"reopening it with adaptive={want_adaptive} is not possible — "
+                "pick a different channel name"
+            )
         return chan
 
     def channels(self) -> List[str]:

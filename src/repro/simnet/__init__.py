@@ -31,6 +31,7 @@ from repro.simnet.engine import (
     AnyOf,
     SimulationError,
 )
+from repro.simnet.partition import PartitionedSimulator, LookaheadViolation
 from repro.simnet.cost import Cost
 from repro.simnet.host import Host, CpuModel
 from repro.simnet.network import Network, Nic, Frame, Delivery
@@ -54,6 +55,8 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "SimulationError",
+    "PartitionedSimulator",
+    "LookaheadViolation",
     "Cost",
     "Host",
     "CpuModel",

@@ -46,6 +46,7 @@ between the two on recorded scenarios.
 
 from __future__ import annotations
 
+import contextlib
 import heapq
 from collections import deque
 from typing import Any, Callable, Generator, Iterable, List, Optional
@@ -469,9 +470,42 @@ class Simulator:
     ordering comparisons run as C tuple compares; triggered events skip the
     timer structures entirely and ride the ``_ready`` FIFO as
     ``(seq, event)`` pairs.
+
+    ``Simulator(partitions=N)`` with ``N > 1`` returns a
+    :class:`~repro.simnet.partition.PartitionedSimulator` instead: the same
+    public surface, but the event loop is sharded into ``N`` per-partition
+    queues executed in conservative lookahead windows (see
+    :mod:`repro.simnet.partition`).  The partition-aware entry points below
+    (:meth:`call_at_partition`, :meth:`in_partition`,
+    :attr:`partition_count`) are no-ops on the single-loop kernel so model
+    code can target partitions unconditionally.
     """
 
-    def __init__(self, *, wheel_width: float = 64e-6, wheel_buckets: int = 512) -> None:
+    def __new__(cls, *args: Any, **kwargs: Any) -> "Simulator":
+        if cls is Simulator:
+            partitions = kwargs.get("partitions")
+            if partitions is not None and int(partitions) > 1:
+                from repro.simnet.partition import PartitionedSimulator
+
+                return super().__new__(PartitionedSimulator)
+        return super().__new__(cls)
+
+    def __init__(
+        self,
+        *,
+        wheel_width: float = 64e-6,
+        wheel_buckets: int = 512,
+        partitions: Optional[int] = None,
+        executor: Optional[Any] = None,
+        lookahead: Optional[float] = None,
+    ) -> None:
+        if partitions is not None and int(partitions) > 1:
+            # Simulator(partitions=N) dispatches to PartitionedSimulator via
+            # __new__; landing here means a subclass was asked to shard.
+            raise SimulationError(
+                f"{type(self).__name__} does not support partitions={partitions!r}"
+            )
+        del partitions, executor, lookahead  # single-loop kernel: no-ops
         if wheel_width <= 0.0 or wheel_buckets < 1:
             raise SimulationError("wheel_width must be positive and wheel_buckets >= 1")
         self._now = 0.0
@@ -548,6 +582,39 @@ class Simulator:
         if when < self._now:
             raise SimulationError(f"cannot schedule in the past (t={when!r} < now={self._now!r})")
         return self._schedule(when, fn, args)
+
+    # -- partition-aware entry points (single-loop: plain pass-throughs) ----
+    @property
+    def partition_count(self) -> int:
+        """Number of event-loop partitions (1 on the single-loop kernel)."""
+        return 1
+
+    @property
+    def current_partition(self) -> int:
+        """Index of the partition whose events are executing right now."""
+        return 0
+
+    def call_at_partition(
+        self, partition: int, when: float, fn: Callable, *args: Any
+    ) -> Optional[TimerHandle]:
+        """Schedule ``fn(*args)`` at ``when`` into ``partition``'s queue.
+
+        On the single-loop kernel the partition index is ignored.  On the
+        partitioned kernel a cross-partition call rides a boundary mailbox
+        and must land at or past the current window horizon (conservative
+        lookahead); it returns ``None`` instead of a cancellable handle.
+        """
+        del partition
+        return self.call_at(when, fn, *args)
+
+    def in_partition(self, partition: int):
+        """Context manager routing scheduling calls to ``partition``.
+
+        Deployment construction uses this to boot hosts, probes and fault
+        schedules into the partition that owns them; a no-op here.
+        """
+        del partition
+        return contextlib.nullcontext(self)
 
     def _push_triggered(self, ev: SimEvent) -> None:
         # fast path: a triggered event is processed at the current timestamp

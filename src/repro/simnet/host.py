@@ -67,6 +67,10 @@ class Host:
         #: physical liveness; a dead host neither sends nor receives frames.
         #: Flipped by the churn injector (:mod:`repro.monitoring.churn`).
         self.up = True
+        #: event-loop partition this host's stack executes in (meaningful on
+        #: a partitioned kernel; assigned by the deployment builder, e.g.
+        #: :func:`repro.simnet.networks.grid_deployment`).
+        self.partition = 0
 
     # -- NIC management ------------------------------------------------------
     def attach_nic(self, nic: "Nic") -> None:

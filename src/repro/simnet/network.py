@@ -211,6 +211,12 @@ class Network:
         #: physical link state; a down network blackholes every frame.
         #: Flipped by the churn injector (:mod:`repro.monitoring.churn`).
         self.up = True
+        #: event-loop partition that owns this link (None: derive from the
+        #: first attached host).  Monitoring probes and fault schedules for
+        #: the link execute in the owning partition; a network whose hosts
+        #: span partitions is a *boundary* link (see
+        #: :mod:`repro.simnet.partition`).
+        self.partition: Optional[int] = None
         #: traffic observers (passive link probes); see :meth:`add_observer`.
         self._observers: List[Callable[["Network", str, Dict[str, Any]], None]] = []
 
@@ -223,7 +229,21 @@ class Network:
         nic = Nic(host, self, address)
         self.nics[host] = nic
         host.attach_nic(nic)
+        if self.sim.partition_count > 1:
+            # a partitioned kernel tracks links that span partitions: their
+            # latency bounds the conservative window width.
+            self.sim.note_network_span(self)
         return nic
+
+    def owning_partition(self) -> int:
+        """The partition that owns this link's probes and fault schedules:
+        the explicit :attr:`partition` when set, else the partition of the
+        first attached host."""
+        if self.partition is not None:
+            return self.partition
+        for host in self.nics:
+            return host.partition
+        return 0
 
     def make_address(self, host: "Host", index: int) -> str:
         """Network-specific address syntax (overridden by IP-class networks)."""
@@ -250,8 +270,12 @@ class Network:
 
         ``kind`` is ``"frame"`` (a frame was put on the wire and will arrive;
         ``info["frame"]`` carries the timing metadata), ``"datagram-lost"``
-        (an unreliable datagram was dropped by the loss model) or
-        ``"blackhole"`` (a frame was swallowed by a down link or dead host).
+        (an unreliable datagram was dropped by the loss model),
+        ``"blackhole"`` (a frame was swallowed by a down link or dead host)
+        or ``"tcp-burst"`` (a TCP congestion-window burst reporting its
+        internal loss draw: ``info["npkts"]``/``info["lost_pkts"]`` — the
+        window model absorbs losses instead of dropping frames, so this is
+        the only way passive observers see them).
         Passive link probes (:mod:`repro.monitoring.probes`) hang off this.
         """
         self._observers.append(fn)
@@ -340,7 +364,11 @@ class Network:
         self.bytes_carried += frame.nbytes
         src_nic.tx_frames += 1
         src_nic.tx_bytes += frame.nbytes
-        self.sim.call_at(arrival, dst_nic.handle_arrival, frame, arrival)
+        # the arrival executes in the *destination's* partition; on a
+        # partitioned kernel a cross-partition delivery rides the boundary
+        # mailbox (arrival >= window horizon: the wire latency is the
+        # lookahead), on the single loop this is a plain call_at.
+        self.sim.call_at_partition(dst.partition, arrival, dst_nic.handle_arrival, frame, arrival)
         self._observe("frame", frame=frame)
         return frame
 

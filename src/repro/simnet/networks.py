@@ -14,7 +14,7 @@ and software costs rather than being hard-coded anywhere.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import Optional, TYPE_CHECKING
 
 from repro.simnet.cost import MB, MICROSECOND, MILLISECOND
 from repro.simnet.network import Network, PARADIGM_DISTRIBUTED, PARADIGM_PARALLEL
@@ -259,7 +259,7 @@ class Loopback(Network):
         self.bytes_carried += frame.nbytes
         nic.tx_frames += 1
         nic.tx_bytes += frame.nbytes
-        self.sim.call_at(arrival, nic.handle_arrival, frame, arrival)
+        self.sim.call_at_partition(host.partition, arrival, nic.handle_arrival, frame, arrival)
         return frame
 
 
@@ -290,6 +290,7 @@ def grid_deployment(
     cols: int = 2,
     hosts_per_cluster: int = 8,
     seed: int = 9000,
+    partitions: Optional[int] = None,
 ) -> GridDeployment:
     """Build a ``rows x cols`` grid of Ethernet clusters on ``framework``.
 
@@ -301,6 +302,13 @@ def grid_deployment(
     clusters therefore has to relay through gateways, which is exactly the
     multi-hop byte path the routing subsystem (PR 1) produces.
 
+    On a partitioned kernel (``partitions`` explicit, or defaulted from the
+    simulator's ``partition_count``) each Ethernet cluster — its hosts and
+    its LAN — is assigned to one event-loop partition, clusters distributed
+    round-robin; the inter-cluster WAN links are the partition boundaries
+    (owned by their west/north gateway's partition) and their multi-ms
+    latency is the conservative lookahead the windows run on.
+
     ``framework`` is duck-typed (``add_host`` / ``add_network``) so this
     module stays independent of :mod:`repro.core`.  Total host count is
     ``rows * cols * hosts_per_cluster``; 200- and 1000-host deployments are
@@ -310,17 +318,31 @@ def grid_deployment(
         raise ValueError("grid_deployment needs positive rows/cols/hosts_per_cluster")
     grid = GridDeployment()
     sim = framework.sim
+    nparts = partitions if partitions is not None else sim.partition_count
+    if nparts < 1:
+        raise ValueError(f"grid_deployment needs a positive partition count, got {nparts}")
+    if nparts > sim.partition_count:
+        # labels beyond the kernel's shard range would only surface later as
+        # scheduling errors on the first cross-cluster frame
+        raise ValueError(
+            f"grid_deployment asked for {nparts} partitions, but the simulator "
+            f"has {sim.partition_count}"
+        )
     gateway_grid = {}
     for r in range(rows):
         for c in range(cols):
             site = f"g{r}x{c}"
+            part = (r * cols + c) % nparts
             hosts = [
                 framework.add_host(f"{site}n{i:02d}", site=site)
                 for i in range(hosts_per_cluster)
             ]
+            for h in hosts:
+                h.partition = part
             lan = framework.add_network(
                 Ethernet100(sim, f"lan-{site}", seed=seed + 7 * (r * cols + c))
             )
+            lan.partition = part
             for h in hosts:
                 lan.connect(h)
             grid.clusters.append(hosts)
@@ -342,6 +364,10 @@ def grid_deployment(
                         seed=seed + 1000 + 13 * (r * cols + c) + (0 if tag == "e" else 1),
                     )
                 )
+                # the west/north gateway owns the link (probes + faults run
+                # there); `connect` auto-registers spanning WANs as window
+                # boundaries on a partitioned kernel.
+                wan.partition = here.partition
                 wan.connect(here)
                 wan.connect(there)
                 grid.wans.append(wan)

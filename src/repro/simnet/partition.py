@@ -1,0 +1,574 @@
+"""Partitioned simulation kernel: shard the event loop across partitions.
+
+Very large deployments (the 1000-host grid of the scale benchmarks) are
+built from *clusters* joined by WAN links whose wire latency is several
+milliseconds — orders of magnitude above every intra-cluster delay.  That
+latency is *lookahead* in the classic conservative parallel-DES sense: an
+event a partition sends across a WAN boundary at virtual time ``t`` cannot
+take effect on the far side before ``t + latency``, so every partition can
+safely execute a bounded window of virtual time without hearing from its
+peers at all.
+
+:class:`PartitionedSimulator` is a drop-in for
+:class:`~repro.simnet.engine.Simulator` (``Simulator(partitions=N)``
+constructs one).  It owns ``N`` :class:`_PartitionShard` queues — each a
+full timer-wheel kernel reusing the PR 3 machinery — and runs them in
+windows::
+
+    window = [start, start + lookahead]   (inclusive of the horizon)
+
+where ``start`` is the earliest pending event across all shards and
+``lookahead`` is the minimum latency over the registered *boundary*
+networks (links whose attached hosts live in different partitions; networks
+self-register when a host attachment makes them span partitions).  Within a
+window every shard executes independently in its own exact ``(when, seq)``
+order; scheduling calls issued by executing model code always land in the
+issuing shard.
+
+Cross-partition scheduling (:meth:`Simulator.call_at_partition` — the
+network layer routes every ``transmit`` completion through it) goes through
+per-destination **boundary mailboxes**.  A mailbox entry is stamped
+``(when, sent_at, src_partition, src_seq)`` and must satisfy
+``when >= window horizon`` (violations raise :class:`LookaheadViolation`
+rather than silently reordering).  At the window barrier each mailbox is
+sorted by that stamp and drained into the destination shard, which defines
+the deterministic total order for same-timestamp cross-partition
+deliveries: earlier send time first, then lower source partition, then
+source scheduling order.
+
+Trace equality with the single-loop kernel holds event-for-event as long
+as cross-partition deliveries do not tie *exactly* (same float timestamp)
+with destination-local events scheduled during the same window — a
+measure-zero coincidence under continuous latency models.  At such a tie
+the single loop interleaves by global scheduling order, which no partition
+can observe; the partitioned kernel instead applies the deterministic
+mailbox rule above (the delivery runs after the destination's
+locally-scheduled events of that timestamp).  Both orders are legal
+executions of the model; only the partitioned one is independent of the
+executor.
+
+Executors
+---------
+
+``executor="round-robin"`` (default) steps the shards sequentially inside
+one process — deterministic and dependency-free, the configuration the
+trace-equality suite pins down.  ``executor="thread"`` runs each shard's
+window on a worker-thread pool with a barrier per window; with mailbox
+merging order-stamped (not arrival-ordered) the execution stays
+deterministic *provided* partitions share no mutable Python state outside
+the boundary mailboxes (per-partition counters, per-partition rngs).  CPU
+parallelism is bounded by the GIL in CPython today; the executor exists for
+GIL-releasing model code and free-threaded builds.  A process pool is
+deliberately not offered: partitions share one object graph (hosts,
+networks, the topology KB) and cannot be pickled across address spaces.
+
+Determinism contract for scenario authors:
+
+* every host, probe and fault schedule belongs to exactly one partition
+  (``framework.boot`` / ``TopologyMonitor.watch`` / ``FaultInjector``
+  handle this given ``host.partition`` / ``network.partition``);
+* cross-partition interaction goes through networks whose latency is at
+  least the window lookahead (the mailbox check enforces it);
+* mutable state shared across partitions (a network's ``up`` flag, the
+  topology KB) must only be *written* by its owning partition; reads from
+  other partitions see window-granular state.  Note that *passive* link
+  probes on a boundary network are written from **both** endpoints'
+  partitions (the observer fires in the transmitting shard): under the
+  round-robin executor that stays deterministic (fixed shard order), but
+  under the thread executor it is a data race — keep passively-watched
+  boundary links on the round-robin executor, or watch them actively only.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.simnet.engine import (
+    SimEvent,
+    SimStats,
+    SimulationError,
+    Simulator,
+    TimerHandle,
+)
+
+__all__ = ["PartitionedSimulator", "LookaheadViolation", "DEFAULT_LOOKAHEAD"]
+
+#: window width used when no boundary network is registered and no explicit
+#: ``lookahead=`` was configured: well under every WAN latency in
+#: :mod:`repro.simnet.networks`, comfortably above LAN/SAN delays.
+DEFAULT_LOOKAHEAD = 1e-3
+
+
+class LookaheadViolation(SimulationError):
+    """A cross-partition event was scheduled inside the current window.
+
+    Conservative execution is only correct when a boundary crossing lands at
+    or past the window horizon; a violation means a link between partitions
+    is faster than the configured lookahead (e.g. two partitions sharing a
+    LAN, or a boundary WAN degraded below the window width)."""
+
+
+class _PartitionShard(Simulator):
+    """One partition's event queue: a full timer-wheel kernel plus the
+    bookkeeping the facade needs (index, mailbox sequence counter)."""
+
+    def __init__(self, index: int, *, wheel_width: float, wheel_buckets: int):
+        super().__init__(wheel_width=wheel_width, wheel_buckets=wheel_buckets)
+        self.index = index
+        self._mail_seq = itertools.count()
+
+    def next_event_time(self) -> Optional[float]:
+        """Timestamp of this shard's earliest live entry, or None."""
+        if self._next_ready() is not None:
+            return self._now
+        head = self._pull()
+        return head[0] if head is not None else None
+
+
+class _RoundRobinExecutor:
+    """Default executor: each shard runs its window in turn, in index order,
+    on the calling thread."""
+
+    name = "round-robin"
+
+    def run_window(
+        self, psim: "PartitionedSimulator", shards: List[_PartitionShard], window_end: float
+    ) -> None:
+        for shard in shards:
+            if psim._p_stopped:
+                break
+            psim._enter_shard(shard)
+            try:
+                shard.run(until=window_end)
+            finally:
+                psim._exit_shard()
+
+
+class _ThreadPoolExecutor:
+    """Opt-in executor: one worker thread per shard, barrier per window.
+
+    The pool lives for one :meth:`PartitionedSimulator.run` call
+    (:meth:`open`/:meth:`close` bracket it) so simulators never leak idle
+    worker threads past their run."""
+
+    name = "thread"
+
+    def __init__(self) -> None:
+        self._pool = None
+
+    def open(self, nshards: int) -> None:
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=nshards, thread_name_prefix="sim-shard"
+            )
+
+    def close(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def run_window(
+        self, psim: "PartitionedSimulator", shards: List[_PartitionShard], window_end: float
+    ) -> None:
+        self.open(len(shards))
+        futures = [
+            self._pool.submit(self._run_shard, psim, shard, window_end) for shard in shards
+        ]
+        # the barrier: every shard finishes its window before mailboxes
+        # merge — including when one raises, or the merge (and the cleared
+        # lookahead check) would race the straggler threads.
+        first_error = None
+        for future in futures:
+            try:
+                future.result()
+            except BaseException as exc:
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+
+    @staticmethod
+    def _run_shard(
+        psim: "PartitionedSimulator", shard: _PartitionShard, window_end: float
+    ) -> None:
+        psim._enter_shard(shard)
+        try:
+            shard.run(until=window_end)
+        finally:
+            psim._exit_shard()
+
+
+def _make_executor(executor: Any) -> Any:
+    if executor is None or executor == "round-robin":
+        return _RoundRobinExecutor()
+    if executor in ("thread", "threads", "thread-pool"):
+        return _ThreadPoolExecutor()
+    if executor == "process":
+        raise SimulationError(
+            "executor='process' is not supported: partitions share one object "
+            "graph (hosts, networks, topology KB) and cannot cross address "
+            "spaces; use 'thread' or the default 'round-robin'"
+        )
+    if hasattr(executor, "run_window"):
+        return executor
+    raise SimulationError(
+        f"unknown executor {executor!r}; expected 'round-robin', 'thread' or an "
+        "object with a run_window(sim, shards, window_end) method"
+    )
+
+
+class PartitionedSimulator(Simulator):
+    """N per-partition event queues executed in conservative time windows.
+
+    Constructed via ``Simulator(partitions=N, ...)``.  The public
+    :class:`~repro.simnet.engine.Simulator` surface is preserved; the
+    differences that can matter to model code:
+
+    * :meth:`step` is unavailable (execution is window-at-a-time);
+    * :meth:`call_at_partition` returns ``None`` (no cancellable handle) for
+      a genuine boundary crossing;
+    * :meth:`stop` halts the executing shard immediately and the run at the
+      window barrier;
+    * ``run(until=event)`` overshoots by at most one window (the run stops
+      at the barrier after the event is processed).
+    """
+
+    def __init__(
+        self,
+        *,
+        partitions: int,
+        executor: Any = None,
+        lookahead: Optional[float] = None,
+        wheel_width: float = 64e-6,
+        wheel_buckets: int = 512,
+    ) -> None:
+        # deliberately no super().__init__(): the facade owns no queue of its
+        # own — every structure-touching method is overridden to route into a
+        # shard, and a stray use of base internals should fail loudly.
+        partitions = int(partitions)
+        if partitions < 2:
+            raise SimulationError(
+                f"PartitionedSimulator needs at least 2 partitions, got {partitions}"
+            )
+        if lookahead is not None and lookahead <= 0.0:
+            raise SimulationError(f"lookahead must be positive, got {lookahead!r}")
+        self._shards: List[_PartitionShard] = [
+            _PartitionShard(i, wheel_width=wheel_width, wheel_buckets=wheel_buckets)
+            for i in range(partitions)
+        ]
+        self._mailboxes: List[List[Tuple]] = [[] for _ in range(partitions)]
+        self._mail_lock = threading.Lock()
+        self._tls = threading.local()
+        self._time = 0.0
+        self._window_end: Optional[float] = None
+        self._configured_lookahead = lookahead
+        self._boundaries: List[Any] = []
+        self._executor = _make_executor(executor)
+        self._p_stopped = False
+        self.windows_run = 0
+        self.mailbox_deliveries = 0
+
+    # -- shard routing ------------------------------------------------------
+    def _enter_shard(self, shard: _PartitionShard) -> None:
+        self._tls.shard = shard
+
+    def _exit_shard(self) -> None:
+        self._tls.shard = None
+
+    def _active_shard(self) -> _PartitionShard:
+        """The shard scheduling calls go to: an explicit ``in_partition``
+        override, else the shard executing on this thread, else partition 0
+        (deployment-construction default)."""
+        override = getattr(self._tls, "override", None)
+        if override:
+            return override[-1]
+        shard = getattr(self._tls, "shard", None)
+        if shard is not None:
+            return shard
+        return self._shards[0]
+
+    def in_partition(self, partition: int):
+        """Route scheduling calls made inside the context to ``partition``.
+
+        A deployment-construction tool: entering a *different* partition
+        from executing model code is refused — the target shard's clock is
+        mid-window (behind or ahead of the caller's), so direct scheduling
+        there would violate causality; cross-partition scheduling from model
+        code must go through :meth:`call_at_partition` (the mailbox path),
+        and hosts whose bring-up can be triggered mid-run (gateways) should
+        be booted at deployment time.
+        """
+        target = self._shards[self._check_partition(partition)]
+        executing = getattr(self._tls, "shard", None)
+        if executing is not None and executing is not target:
+            raise SimulationError(
+                f"cannot enter partition {partition} from model code executing "
+                f"in partition {executing.index}: use call_at_partition for "
+                "cross-partition scheduling, or set the deployment up before run()"
+            )
+        return _PartitionContext(self, target)
+
+    def _check_partition(self, partition: int) -> int:
+        if not 0 <= partition < len(self._shards):
+            raise SimulationError(
+                f"partition {partition!r} out of range (0..{len(self._shards) - 1})"
+            )
+        return partition
+
+    @property
+    def partition_count(self) -> int:
+        return len(self._shards)
+
+    @property
+    def current_partition(self) -> int:
+        return self._active_shard().index
+
+    # -- boundaries / lookahead --------------------------------------------
+    def add_boundary(self, network: Any) -> Any:
+        """Register a partition-spanning network; its (current) latency
+        bounds the window width.  Idempotent; called automatically by
+        :meth:`note_network_span` when an attachment makes a network span
+        partitions."""
+        if network not in self._boundaries:
+            self._boundaries.append(network)
+        return network
+
+    def note_network_span(self, network: Any) -> None:
+        """Called by :meth:`repro.simnet.network.Network.connect`: if the
+        network's attached hosts now live in more than one partition it is a
+        boundary link."""
+        parts = {getattr(host, "partition", 0) for host in network.nics}
+        if len(parts) > 1:
+            self.add_boundary(network)
+
+    def boundary_networks(self) -> List[Any]:
+        return list(self._boundaries)
+
+    def effective_lookahead(self) -> float:
+        """The window width for the next window: the minimum of the
+        configured ``lookahead`` and the *current* latency of every boundary
+        network (recomputed per window so degraded links shrink the window
+        instead of breaking conservation)."""
+        width = self._configured_lookahead
+        for network in self._boundaries:
+            latency = network.latency
+            if width is None or latency < width:
+                width = latency
+        if width is None:
+            width = DEFAULT_LOOKAHEAD
+        if width <= 0.0:
+            raise SimulationError(
+                "effective lookahead collapsed to zero: a boundary network has "
+                "zero latency; partitions joined by latency-free links cannot "
+                "execute conservatively"
+            )
+        return width
+
+    # -- clock --------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        shard = getattr(self._tls, "shard", None)
+        if shard is not None:
+            return shard._now
+        override = getattr(self._tls, "override", None)
+        if override:
+            return override[-1]._now
+        return self._time
+
+    # -- scheduling ----------------------------------------------------------
+    def call_later(self, delay: float, fn: Callable, *args: Any) -> TimerHandle:
+        return self._active_shard().call_later(delay, fn, *args)
+
+    def call_at(self, when: float, fn: Callable, *args: Any) -> TimerHandle:
+        return self._active_shard().call_at(when, fn, *args)
+
+    def _push_triggered(self, ev: SimEvent) -> None:
+        self._active_shard()._push_triggered(ev)
+
+    def call_at_partition(
+        self, partition: int, when: float, fn: Callable, *args: Any
+    ) -> Optional[TimerHandle]:
+        dst = self._shards[self._check_partition(partition)]
+        src = getattr(self._tls, "shard", None)
+        if src is None or src is dst:
+            # outside the run loop, or a partition-local delivery: straight
+            # into the destination queue — same path as the single kernel.
+            return dst.call_at(when, fn, *args)
+        window_end = self._window_end
+        if window_end is not None and when < window_end:
+            raise LookaheadViolation(
+                f"cross-partition event at t={when!r} lands inside the current "
+                f"window (horizon {window_end!r}): the link from partition "
+                f"{src.index} to {dst.index} is faster than the lookahead"
+            )
+        entry = (when, src._now, src.index, next(src._mail_seq), fn, args)
+        with self._mail_lock:
+            self._mailboxes[dst.index].append(entry)
+        return None
+
+    def _merge_mailboxes(self) -> None:
+        """The window barrier: drain every mailbox into its destination
+        shard in ``(when, sent_at, src_partition, src_seq)`` order — the
+        deterministic total order for cross-partition deliveries."""
+        for dst, box in zip(self._shards, self._mailboxes):
+            if not box:
+                continue
+            box.sort(key=lambda e: e[:4])
+            for when, _sent_at, _src, _seq, fn, args in box:
+                # `when >= horizon >= dst.now` by the lookahead check; equal
+                # timestamps land on the ready FIFO in mailbox order.
+                dst.call_at(max(when, dst._now), fn, *args)
+            self.mailbox_deliveries += len(box)
+            box.clear()
+
+    # -- main loop -----------------------------------------------------------
+    def step(self) -> bool:  # pragma: no cover - explicit API gap
+        raise SimulationError(
+            "PartitionedSimulator executes window-at-a-time; use run() "
+            "(single-step debugging wants Simulator(partitions=1))"
+        )
+
+    def _next_when(self) -> Optional[float]:
+        best = None
+        for shard in self._shards:
+            t = shard.next_event_time()
+            if t is not None and (best is None or t < best):
+                best = t
+        return best
+
+    def run(self, until: Optional[Any] = None, max_time: Optional[float] = None) -> Any:
+        self._p_stopped = False
+        target_event: Optional[SimEvent] = None
+        target_time: Optional[float] = None
+        if isinstance(until, SimEvent):
+            target_event = until
+        elif until is not None:
+            target_time = float(until)
+
+        try:
+            self._run_windows(target_event, target_time, max_time)
+        finally:
+            close = getattr(self._executor, "close", None)
+            if close is not None:
+                close()
+
+        if target_event is not None and target_event.triggered:
+            if target_event.ok:
+                return target_event.value
+            raise target_event.value
+        return None
+
+    def _run_windows(
+        self,
+        target_event: Optional[SimEvent],
+        target_time: Optional[float],
+        max_time: Optional[float],
+    ) -> None:
+        while not self._p_stopped:
+            if target_event is not None and target_event._processed:
+                break
+            nxt = self._next_when()
+            if nxt is None:
+                if target_event is not None and not target_event.triggered:
+                    raise SimulationError(
+                        f"simulation ran out of events while waiting for {target_event!r} "
+                        "(deadlock: nobody will ever trigger it)"
+                    )
+                # natural exhaustion: commit a common clock so later
+                # scheduling (relative delays) agrees across partitions.
+                for shard in self._shards:
+                    if shard._now > self._time:
+                        self._time = shard._now
+                for shard in self._shards:
+                    if shard._now < self._time:
+                        shard._now = self._time
+                break
+            if target_time is not None and nxt > target_time:
+                for shard in self._shards:
+                    if shard._now < target_time:
+                        shard._now = target_time
+                self._time = target_time
+                break
+            if max_time is not None and nxt > max_time:
+                raise SimulationError(f"virtual time exceeded max_time={max_time}")
+            window_end = nxt + self.effective_lookahead()
+            if target_time is not None and window_end > target_time:
+                window_end = target_time
+            if max_time is not None and window_end > max_time:
+                window_end = max_time
+            self._window_end = window_end
+            try:
+                self._executor.run_window(self, self._shards, window_end)
+            finally:
+                # merge even when model code raised out of a shard: mailbox
+                # entries are post-horizon and safe to deliver any time.
+                self._window_end = None
+                self._merge_mailboxes()
+            self.windows_run += 1
+            for shard in self._shards:
+                if shard._now > self._time:
+                    self._time = shard._now
+
+    def stop(self) -> None:
+        """Stop the run: the executing shard halts immediately, remaining
+        shards at the window barrier."""
+        self._p_stopped = True
+        shard = getattr(self._tls, "shard", None)
+        if shard is not None:
+            shard.stop()
+
+    # -- introspection -------------------------------------------------------
+    def pending_count(self) -> int:
+        return sum(shard._live for shard in self._shards) + sum(
+            len(box) for box in self._mailboxes
+        )
+
+    def stats(self) -> SimStats:
+        """Aggregated kernel counters across all shards.  ``peak_pending``
+        is the sum of per-shard peaks (an upper bound on the true concurrent
+        peak: shards hit their maxima at different instants)."""
+        shard_stats = [shard.stats() for shard in self._shards]
+        return SimStats(
+            events_processed=sum(s.events_processed for s in shard_stats),
+            timers_scheduled=sum(s.timers_scheduled for s in shard_stats),
+            cancellations=sum(s.cancellations for s in shard_stats),
+            peak_pending=sum(s.peak_pending for s in shard_stats),
+            wheel_rebuilds=sum(s.wheel_rebuilds for s in shard_stats),
+        )
+
+    def partition_stats(self) -> List[SimStats]:
+        """Per-shard counter snapshots, in partition order."""
+        return [shard.stats() for shard in self._shards]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PartitionedSimulator partitions={len(self._shards)} "
+            f"executor={self._executor.name} t={self._time:g} "
+            f"windows={self.windows_run}>"
+        )
+
+
+class _PartitionContext:
+    """Context manager pushing a partition override onto the calling
+    thread's routing stack (see :meth:`PartitionedSimulator.in_partition`)."""
+
+    __slots__ = ("sim", "shard")
+
+    def __init__(self, sim: PartitionedSimulator, shard: _PartitionShard):
+        self.sim = sim
+        self.shard = shard
+
+    def __enter__(self) -> PartitionedSimulator:
+        tls = self.sim._tls
+        stack = getattr(tls, "override", None)
+        if stack is None:
+            stack = tls.override = []
+        stack.append(self.shard)
+        return self.sim
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.sim._tls.override.pop()

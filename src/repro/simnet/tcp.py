@@ -411,6 +411,18 @@ class TcpConnection:
         lost_pkts = self._draw_losses(npkts)
         delivered = attempted if lost_pkts == 0 else max(0, attempted - lost_pkts * self.mss)
         self.rounds += 1
+        if npkts and self.network._observers:
+            # Surface the window model's internal loss draw to the network
+            # instrumentation hooks: passive probes otherwise never see TCP
+            # losses (the model absorbs them instead of dropping frames), so
+            # passive WAN loss estimates — and the method parameters derived
+            # from them — read zero on TCP-carried hops.  Zero-loss bursts
+            # are reported too: they are the samples that gate estimator
+            # readiness on lossless links and that decay the windowed loss
+            # estimate after a degraded link recovers.
+            self.network._observe(
+                "tcp-burst", npkts=npkts, lost_pkts=lost_pkts, nbytes=attempted
+            )
 
         burst = parts[0] if len(parts) == 1 else memoryview(b"".join(parts))
         if delivered > 0:
@@ -421,7 +433,10 @@ class TcpConnection:
                 payload,
                 channel=(CH_DATA, self.peer_conn_id),
                 send_cost=None,
-                meta={"seq": self.bytes_sent},
+                # tcp_data tags the frame for passive observers: its loss
+                # verdict travels in the burst's "tcp-burst" observation,
+                # so the frame itself must not count as a loss sample.
+                meta={"seq": self.bytes_sent, "tcp_data": True},
             )
             arrival = frame.meta["arrival"]
             self.bytes_sent += delivered

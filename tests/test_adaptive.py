@@ -250,6 +250,74 @@ def test_adaptive_migrates_to_better_method_on_reclassification():
     assert client.route.link_class is LinkClass.LOSSY_WAN  # direct rail: RouteChoice
 
 
+def _measured_flap_scenario(route_dwell=None, port=8450):
+    """Open an adaptive session, then flip the direct WAN's *measured* loss
+    across the lossy threshold every 50 ms (probe-noise flapping); returns
+    the client after delivering a payload."""
+    fw, edge, gw, remote, wan, lan, wan2 = wan_pair_with_backup(register_methods=True)
+    manager = fw.node("edge").vlink
+    if route_dwell is not None:
+        manager.route_dwell = route_dwell
+    listener = fw.node("remote").vlink_listen(port, adaptive=True)
+    total = 50_000
+
+    def scenario():
+        accept_op = listener.accept()
+        client = yield fw.node("edge").vlink_connect(fw.node("remote"), port, adaptive=True)
+        server = yield accept_op
+        for k in range(10):
+            loss = 0.05 if k % 2 == 0 else 0.0
+            fw.topology.apply_measurement(wan, loss_rate=loss, detail=f"flip{k}")
+            yield fw.sim.timeout(0.05)
+        client.write(pattern(total))
+        data = yield server.read(total)
+        return client, data
+
+    client, data = run(fw, scenario(), max_time=300)
+    assert data == pattern(total)
+    return client
+
+
+def test_route_dwell_damps_measured_metric_flapping():
+    """Minimum-dwell hysteresis: a measured-loss flip-flop that would
+    migrate the session on every push is held to the dwell rate, while the
+    undamped manager chases every flip (the route-flapping ROADMAP item)."""
+    damped = _measured_flap_scenario()  # ships with ROUTE_MIN_DWELL
+    undamped = _measured_flap_scenario(route_dwell=0.0)
+    assert undamped.migrations >= 5, "control: without dwell the route chases every flip"
+    assert damped.migrations <= 2
+    assert damped.migrations < undamped.migrations
+
+
+def test_route_dwell_does_not_pin_a_dead_route():
+    """The dwell only vetoes *preference* migrations: a route through a link
+    that goes down must migrate immediately, dwell or not."""
+    fw, edge, gw, remote, wan, lan, wan2 = wan_pair_with_backup(register_methods=True)
+    listener = fw.node("remote").vlink_listen(8460, adaptive=True)
+    total = 60_000
+
+    def scenario():
+        accept_op = listener.accept()
+        client = yield fw.node("edge").vlink_connect(fw.node("remote"), 8460, adaptive=True)
+        server = yield accept_op
+        # first migration: measured loss reclassifies the wire (vrp rail)
+        fw.topology.apply_measurement(wan, loss_rate=0.05, detail="lossy push")
+        yield fw.sim.timeout(0.05)
+        assert client.migrations == 1
+        # well inside the dwell window the whole wire dies: the session must
+        # abandon it for the gateway path right away
+        wan.up = False
+        fw.topology.mark_link_down(wan, detail="died inside dwell")
+        client.write(pattern(total))
+        data = yield server.read(total)
+        return client, data
+
+    client, data = run(fw, scenario(), max_time=300)
+    assert data == pattern(total)
+    assert client.migrations == 2
+    assert client.route is not None and not client.route.is_direct  # gateway path
+
+
 def test_adaptive_link_survives_flapping_wan():
     """A link flapping down/up (seeded Poisson schedule) never loses bytes."""
     fw, edge, gw, remote, wan, lan, wan2 = wan_pair_with_backup()

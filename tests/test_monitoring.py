@@ -109,6 +109,134 @@ def test_passive_probe_observes_real_traffic():
     assert probe._observe not in wan._observers
 
 
+def test_passive_probe_sees_tcp_window_model_losses():
+    """The TCP model draws losses internally (no frames drop); the surfaced
+    per-burst observations must give a *passive-only* watch an honest loss
+    estimate on a TCP-carried WAN hop."""
+    fw, edge, gw, remote, wan, lan, wan2 = wan_pair_with_backup()
+    wan.loss_rate = 0.02  # well above VTHD residual: estimate converges fast
+    fw.boot()
+    watch = fw.monitoring.watch(wan, active=False)  # passive only: no pings
+    listener = fw.node("remote").vlink_listen(7050)
+    total = 600_000
+
+    def scenario():
+        accept_op = listener.accept()
+        client = yield fw.node("edge").vlink_connect(
+            fw.node("remote"), 7050, method="sysio"
+        )
+        server = yield accept_op
+        client.write(b"z" * total)
+        data = yield server.read(total)
+        return data
+
+    assert len(run(fw, scenario(), max_time=300)) == total
+    estimate = watch.estimator.estimate()
+    assert estimate is not None, "TCP bursts alone must feed the estimator"
+    # honest loss: within a factor of ~3 of the model's configured rate on a
+    # windowed estimate (sliding window of per-burst fractions), and
+    # decidedly non-zero — the pre-fix passive estimate was exactly 0.0
+    assert estimate.loss_rate > 0.004
+    assert estimate.loss_rate < 3 * wan.loss_rate
+    # honest enough to drive monitoring-derived method parameters
+    fw.topology.apply_measurement(wan, loss_rate=estimate.loss_rate)
+    params = fw.selector.derive_method_params("vrp", wan, reliable=False)
+    assert params.get("tolerance", 0.0) > 0.0
+
+
+def test_passive_only_watch_works_on_lossless_tcp_link():
+    """Zero-loss bursts are reported too: a passive-only watch on a
+    loss-free TCP-carried link must still reach an estimate (TCP data
+    frames alone no longer count as loss samples), and the loss estimate
+    must decay back down after a degraded link recovers."""
+    fw, edge, gw, remote, wan, lan, wan2 = wan_pair_with_backup()
+    wan.loss_rate = 0.0
+    fw.boot()
+    # a small sliding window keeps the decay phase of the test short (the
+    # lossless 400 KB transfer contributes only a handful of bursts)
+    watch = fw.monitoring.watch(wan, active=False, window=16)
+    total = 400_000
+
+    def transfer(port):
+        listener = fw.node("remote").vlink_listen(port)
+
+        def scenario():
+            accept_op = listener.accept()
+            client = yield fw.node("edge").vlink_connect(
+                fw.node("remote"), port, method="sysio"
+            )
+            server = yield accept_op
+            client.write(b"z" * total)
+            data = yield server.read(total)
+            return data
+
+        assert len(run(fw, scenario(), max_time=300)) == total
+
+    transfer(7060)
+    estimate = watch.estimator.estimate()
+    assert estimate is not None, "lossless TCP traffic must still gate the estimator open"
+    assert estimate.loss_rate == 0.0
+    assert estimate.bandwidth is not None
+    # degrade, transfer (loss accumulates), recover, transfer again: the
+    # windowed estimate must fall back toward zero on the zero-loss bursts
+    wan.loss_rate = 0.05
+    transfer(7061)
+    degraded = watch.estimator.estimate().loss_rate
+    assert degraded > 0.004
+    wan.loss_rate = 0.0
+    transfer(7062)
+    transfer(7063)  # the sliding window displaces degraded-era samples
+    recovered = watch.estimator.estimate().loss_rate
+    assert recovered < degraded / 2
+
+
+def test_tcp_burst_samples_are_liveness_neutral():
+    """Burst loss draws happen sender-side before the wire is consulted, so
+    they must never touch the failure-detector signal — a blackholed link
+    keeps producing 0.0-fraction bursts while every ping is lost."""
+    est = LinkEstimator(window=8, min_samples=1)
+    est.update(LinkSample(at=0.0, kind="ping", lost=True))
+    est.update(LinkSample(at=0.1, kind="ping", lost=True))
+    assert est.consecutive_lost == 2
+    est.update(LinkSample(at=0.2, kind="tcp", loss_fraction=1.0))
+    est.update(LinkSample(at=0.3, kind="tcp", loss_fraction=0.0))
+    assert est.consecutive_lost == 2  # neither refutes nor argues death
+    # a frame sample only exists when the wire accepted the frame: it refutes
+    est.update(LinkSample(at=0.4, kind="frame", latency=0.001, count_loss=False))
+    assert est.consecutive_lost == 0
+    # and the fractions feed the windowed loss rate (the frame, being
+    # count_loss=False, does not)
+    assert est.estimate().loss_rate == pytest.approx((1.0 + 1.0 + 1.0 + 0.0) / 4)
+
+
+def test_dead_link_detection_survives_tcp_traffic():
+    """Failure detection end-to-end: TCP keeps pumping into a blackholed
+    wire (its sender-side bursts draw ~zero loss), but the run of lost
+    active pings still marks the link down."""
+    fw, edge, gw, remote, wan, lan, wan2 = wan_pair_with_backup()
+    fw.boot()
+    fw.monitoring.watch(wan, interval=0.02, seed=11)
+    listener = fw.node("remote").vlink_listen(7070)
+
+    def scenario():
+        accept_op = listener.accept()
+        client = yield fw.node("edge").vlink_connect(
+            fw.node("remote"), 7070, method="sysio"
+        )
+        yield accept_op
+        client.write(b"a" * 64_000)
+        yield fw.sim.timeout(0.05)
+        wan.up = False  # silent death: only the probes can tell
+        # keep the TCP sender pumping into the blackhole throughout
+        for _ in range(10):
+            client.write(b"b" * 64_000)
+            yield fw.sim.timeout(0.1)
+        return fw.topology.is_link_up(wan)
+
+    assert run(fw, scenario(), max_time=120) is False
+    fw.monitoring.stop()
+
+
 def test_active_probe_is_seeded_and_sees_degradation():
     fw, edge, gw, remote, wan, lan, wan2 = wan_pair_with_backup()
 

@@ -357,3 +357,115 @@ def test_communicator_contexts_are_isolated(cluster):
         return world_msg, dup_msg
 
     assert run(fw, scenario()) == (b"world", b"dup")
+
+
+# --------------------------------------------------------------------------
+# circuit-backed channels: collectives over routed / adaptive legs
+# --------------------------------------------------------------------------
+
+
+def routed_mpi_deployment():
+    """Two Ethernet clusters joined only through a dual-homed gateway: the
+    MPI group's hosts share no network, so every cross-cluster circuit leg
+    must relay (LinkClass.ROUTED)."""
+    from repro.core import PadicoFramework
+    from repro.simnet.networks import Ethernet100, WanVthd
+
+    fw = PadicoFramework()
+    for name, site in [("a0", "sa"), ("a1", "sa"), ("gw", "sa"), ("b0", "sb")]:
+        fw.add_host(name, site=site)
+    lan_a = fw.add_network(Ethernet100(fw.sim, "lan-a"))
+    wan = fw.add_network(WanVthd(fw.sim, "wan"))
+    for h in ("a0", "a1", "gw"):
+        lan_a.connect(fw.host(h))
+    wan.connect(fw.host("gw")), wan.connect(fw.host("b0"))
+    fw.boot()
+    return fw
+
+
+def test_mpi_unknown_channels_mode_rejected(cluster):
+    fw, group = cluster
+    with pytest.raises(MpiError, match="channels mode"):
+        MpiRuntime(fw.node(group[0].name), group, channels="bogus")
+
+
+def test_mpi_explicit_channel_conflicts_with_channels_mode(cluster):
+    """An explicit channel is used as-is, so combining it with a channels
+    mode (or adaptive=) must fail loudly instead of silently ignoring the
+    requested transport."""
+    fw, group = cluster
+    node = fw.node(group[0].name)
+    base = MpiRuntime(node, group, channel_name="conflict-base")
+    with pytest.raises(MpiError, match="conflicts"):
+        MpiRuntime(node, group, channel=base.channel, channels="circuit")
+    with pytest.raises(MpiError, match="conflicts"):
+        MpiRuntime(node, group, channel=base.channel, adaptive=True)
+    with pytest.raises(MpiError, match="channels mode"):
+        MpiRuntime(node, group, channel=base.channel, channels="bogus")
+    with pytest.raises(MpiError, match='requires channels="circuit"'):
+        MpiRuntime(node, group, adaptive=True, channel_name="conflict-vmad")
+
+
+def test_mpi_channel_name_reuse_across_modes_rejected(cluster):
+    """The circuit behind a channel name is cached per node: reopening the
+    same name in a different adaptive mode must fail loudly instead of
+    silently handing back the other transport."""
+    from repro.madeleine.message import MadeleineError
+
+    fw, group = cluster
+    node = fw.node(group[0].name)
+    MpiRuntime(node, group, channel_name="reuse")  # static vmad circuit
+    with pytest.raises(MadeleineError, match="already open with adaptive=False"):
+        MpiRuntime(node, group, channels="circuit", channel_name="reuse")
+
+
+def test_mpi_broadcast_over_routed_adaptive_circuit():
+    """channels="circuit": an MPI broadcast rides a route-aware adaptive
+    Circuit whose cross-cluster legs relay through the gateway."""
+    from repro.abstraction import LinkClass
+
+    fw = routed_mpi_deployment()
+    group = fw.group(["a0", "a1", "b0"], "mpi-routed")
+    runtimes = [
+        MpiRuntime(fw.node(h.name), group, channels="circuit", channel_name="routed")
+        for h in group
+    ]
+    comms = [r.comm_world for r in runtimes]
+
+    # the channel really is a circuit with adaptive sessions and a routed
+    # cross-cluster leg (a0 -> b0 shares no network with the root)
+    circuit = runtimes[0].channel.circuit
+    assert circuit.adaptive is not None
+    assert circuit.route_for(2).link_class is LinkClass.ROUTED
+
+    def gen(comm, rank):
+        obj = {"blob": b"x" * 4096, "n": 42} if rank == 0 else None
+        result = yield from comm.bcast(obj, root=0)
+        return result
+
+    results = run_collective(fw, comms, gen)
+    assert all(r == {"blob": b"x" * 4096, "n": 42} for r in results)
+
+
+def test_mpi_collectives_over_routed_circuit_static_legs():
+    """channels="circuit" with adaptive=False: route-aware static legs
+    still relay collectives through the gateway."""
+    fw = routed_mpi_deployment()
+    group = fw.group(["a0", "b0"], "mpi-routed-static")
+    runtimes = [
+        MpiRuntime(
+            fw.node(h.name), group, channels="circuit", adaptive=False,
+            channel_name="routed-static",
+        )
+        for h in group
+    ]
+    assert runtimes[0].channel.circuit.adaptive is None
+    comms = [r.comm_world for r in runtimes]
+
+    def gen(comm, rank):
+        total = yield from comm.allreduce(rank + 1, op=SUM)
+        data = yield from comm.bcast(b"payload" if rank == 0 else None, root=0)
+        return total, data
+
+    results = run_collective(fw, comms, gen)
+    assert all(r == (3, b"payload") for r in results)
