@@ -77,7 +77,7 @@ class PadicoNode:
 
         # Distributed side: OS TCP stack + SysIO subsystem.
         has_ip = any(n.is_distributed for n in host.networks())
-        self.tcp = TcpStack(host)
+        self.tcp = TcpStack(host, fidelity=self.framework.fidelity)
         if has_ip:
             self.tcp.attach_all()
         self.sysio = SysIO(self.netaccess, self.tcp)
@@ -255,6 +255,11 @@ class PadicoFramework:
     selects how the per-partition queues are driven (``"round-robin"``
     default, ``"thread"`` opt-in); ``lookahead`` optionally caps the window
     width below the smallest boundary-link latency.
+
+    ``fidelity`` selects the TCP simulation fidelity for every node booted
+    by this framework: ``"packet"`` (default) runs the full per-burst
+    window model; ``"hybrid"`` lets stable flows collapse into the fluid
+    fast path (:mod:`repro.simnet.fluid`) with byte-count-exact fallback.
     """
 
     def __init__(
@@ -264,7 +269,11 @@ class PadicoFramework:
         partitions: Optional[int] = None,
         executor=None,
         lookahead: Optional[float] = None,
+        fidelity: str = "packet",
     ):
+        if fidelity not in ("packet", "hybrid"):
+            raise FrameworkError(f"unknown fidelity {fidelity!r}; use 'packet' or 'hybrid'")
+        self.fidelity = fidelity
         self.sim = Simulator(partitions=partitions, executor=executor, lookahead=lookahead)
         self.topology = TopologyKB()
         self.preferences = preferences or Preferences()

@@ -108,17 +108,28 @@ class FaultInjector:
     ) -> None:
         """At ``at``, mutate the network's physical parameters in place.
 
-        On a partitioned kernel, degrading the *latency* of a boundary link
-        below the current window width is unsupported: the conservative
-        windows are sized from boundary latencies per window, so an
-        in-window drop makes later same-window sends raise
-        :class:`~repro.simnet.partition.LookaheadViolation` (a loud abort,
-        never silent reordering).  Degrade bandwidth/loss freely; pick a
-        ``lookahead=`` at or below the lowest latency a schedule will reach
-        if latency churn on boundaries is required."""
-        self.sim.call_at_partition(
-            network.owning_partition(), at, self._degrade, network, latency, bandwidth, loss_rate
+        On a partitioned kernel, churn on a *boundary* link is applied at
+        the next window edge (a barrier-synchronized hook) rather than
+        mid-window: the conservative windows are sized from boundary
+        latencies per window, so an in-window latency drop below the
+        in-flight window would make later same-window sends raise
+        :class:`~repro.simnet.partition.LookaheadViolation`, and a
+        mid-window mutation is a cross-shard data race under the thread
+        executor.  Applying at the edge means the next window is already
+        sized from the degraded latency.  Shard-local links mutate at
+        ``at`` exactly, as before."""
+        self._schedule_link_fault(
+            at, network, self._degrade, network, latency, bandwidth, loss_rate
         )
+
+    def _schedule_link_fault(self, at: float, network: Network, fn, *args) -> None:
+        """Route a link mutation to where it can run safely: barrier hook
+        for boundary links on a partitioned kernel, the owning partition's
+        loop otherwise."""
+        if self.sim.is_boundary(network):
+            self.sim.call_at_barrier(at, fn, *args)
+        else:
+            self.sim.call_at_partition(network.owning_partition(), at, fn, *args)
 
     def _degrade(self, network, latency, bandwidth, loss_rate) -> None:
         self._save(network)
@@ -133,6 +144,7 @@ class FaultInjector:
             network.loss_rate = loss_rate
             changes.append(f"loss_rate={loss_rate:g}")
         detail = ", ".join(changes)
+        network.invalidate_fluid("degrade")
         self._record("degrade-link", network.name, detail)
         if self.announce:
             self.topology.touch_network(network, detail=f"degraded: {detail}")
@@ -140,17 +152,18 @@ class FaultInjector:
     # -- link failure / recovery -----------------------------------------------------
     def fail_link_at(self, at: float, network: Network) -> None:
         """At ``at``, take the wire down: every frame blackholes."""
-        self.sim.call_at_partition(network.owning_partition(), at, self._fail_link, network)
+        self._schedule_link_fault(at, network, self._fail_link, network)
 
     def _fail_link(self, network: Network) -> None:
         network.up = False
+        network.invalidate_fluid("link-down")
         self._record("fail-link", network.name)
         if self.announce:
             self.topology.mark_link_down(network, detail="fault injected")
 
     def recover_link_at(self, at: float, network: Network) -> None:
         """At ``at``, bring the wire back with its original parameters."""
-        self.sim.call_at_partition(network.owning_partition(), at, self._recover_link, network)
+        self._schedule_link_fault(at, network, self._recover_link, network)
 
     def _recover_link(self, network: Network) -> None:
         network.up = True
@@ -159,6 +172,7 @@ class FaultInjector:
             network.latency = saved.latency
             network.bandwidth = saved.bandwidth
             network.loss_rate = saved.loss_rate
+        network.invalidate_fluid("recover")
         self._record("recover-link", network.name)
         if self.announce:
             self.topology.clear_measurement(network, detail="recovered")
@@ -173,6 +187,8 @@ class FaultInjector:
 
     def _kill_host(self, host: Host) -> None:
         host.up = False
+        for network in host.networks():
+            network.invalidate_fluid("host-down")
         relay = host.get_service(GATEWAY_RELAY_SERVICE)
         if relay is not None:
             relay.shutdown(reason=f"host {host.name} died")
@@ -185,6 +201,8 @@ class FaultInjector:
 
     def _revive_host(self, host: Host) -> None:
         host.up = True
+        for network in host.networks():
+            network.invalidate_fluid("host-up")
         relay = host.get_service(GATEWAY_RELAY_SERVICE)
         if relay is not None:
             relay.restart()

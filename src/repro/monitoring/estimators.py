@@ -34,6 +34,13 @@ class LinkSample:
     #: sample (a TCP data frame: its burst's ``loss_fraction`` sample
     #: carries the verdict, counting the frame too would halve the rate).
     count_loss: bool = True
+    #: batching weight: this sample stands in for ``bursts`` identical
+    #: per-burst observations (the fluid fast path emits one synthesized
+    #: sample per epoch instead of one per congestion-window burst).  The
+    #: estimators apply the equivalent of ``bursts`` sequential updates in
+    #: closed form, so sample counts — and the readiness gating derived
+    #: from them — match the unbatched packet run.
+    bursts: int = 1
 
 
 @dataclass
@@ -65,6 +72,20 @@ class EwmaEstimator:
         self.samples += 1
         return self.value
 
+    def update_many(self, x: float, n: int) -> float:
+        """Apply ``n`` consecutive updates with the same value in closed form:
+        ``v' = x + (1-alpha)^n * (v - x)`` (equal to ``n`` sequential blends
+        up to float rounding)."""
+        if n <= 1:
+            return self.update(x)
+        x = float(x)
+        if self.value is None:
+            self.value = x
+        else:
+            self.value = x + (1.0 - self.alpha) ** n * (self.value - x)
+        self.samples += n
+        return self.value
+
     def reset(self) -> None:
         self.value = None
         self.samples = 0
@@ -83,6 +104,17 @@ class SlidingWindowEstimator:
     def update(self, x: float) -> float:
         self._values.append(float(x))
         self.samples += 1
+        return self.mean()
+
+    def update_many(self, x: float, n: int) -> float:
+        """Apply ``n`` consecutive updates with the same value.  The window
+        contents afterwards are exactly what ``n`` sequential updates would
+        leave, so the windowed mean is bit-identical."""
+        if n <= 1:
+            return self.update(x)
+        fill = n if n < self.window else self.window
+        self._values.extend([float(x)] * fill)
+        self.samples += n
         return self.mean()
 
     def mean(self) -> Optional[float]:
@@ -128,6 +160,7 @@ class LinkEstimator:
 
     def update(self, sample: LinkSample) -> None:
         self.last_sample_at = sample.at
+        bursts = sample.bursts
         if sample.lost:
             self.loss.update(1.0)
             # Only lost *active probes* argue for link death: passive loss
@@ -143,16 +176,28 @@ class LinkEstimator:
             # producing 0.0-fraction bursts — and must never refute (or
             # argue) link death.  Liveness refutation rides the "frame"
             # samples, which only exist when the wire accepted the frame.
-            self.loss.update(sample.loss_fraction)
+            if bursts != 1:
+                self.loss.update_many(sample.loss_fraction, bursts)
+            else:
+                self.loss.update(sample.loss_fraction)
             return
         if sample.count_loss:
-            self.loss.update(0.0)
+            if bursts != 1:
+                self.loss.update_many(0.0, bursts)
+            else:
+                self.loss.update(0.0)
         # any successful crossing — active or passive — refutes death
         self.consecutive_lost = 0
         if sample.latency is not None:
-            self.latency.update(sample.latency)
+            if bursts != 1:
+                self.latency.update_many(sample.latency, bursts)
+            else:
+                self.latency.update(sample.latency)
         if sample.bandwidth is not None:
-            self.bandwidth.update(sample.bandwidth)
+            if bursts != 1:
+                self.bandwidth.update_many(sample.bandwidth, bursts)
+            else:
+                self.bandwidth.update(sample.bandwidth)
 
     def estimate(self) -> Optional[MeasuredLink]:
         """The current measured profile, or None until enough samples exist."""

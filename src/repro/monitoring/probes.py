@@ -79,6 +79,10 @@ class PassiveLinkProbe:
             if npkts <= 0:
                 return
             lost_pkts = info.get("lost_pkts", 0)
+            # a fluid-mode flow batches several bursts into one observation
+            # (always zero-loss: a loss draw ends fluid mode first); the
+            # weight keeps estimator sample counts equal to the packet run
+            bursts = info.get("bursts", 1)
             if lost_pkts:
                 self.losses += 1
             self.on_sample(
@@ -87,8 +91,26 @@ class PassiveLinkProbe:
                     kind="tcp",
                     nbytes=info.get("nbytes", 0),
                     loss_fraction=lost_pkts / npkts,
+                    bursts=bursts,
                 )
             )
+            if info.get("fluid"):
+                # Fluid bursts ride no real frames, so synthesize the
+                # latency/bandwidth samples the per-burst data frames would
+                # have produced (a stable flow's frames observe the link's
+                # nominal parameters exactly; see the "frame" branch above).
+                self.frames += bursts
+                self.on_sample(
+                    LinkSample(
+                        at=network.sim.now,
+                        kind="frame",
+                        latency=info.get("latency"),
+                        bandwidth=info.get("bandwidth"),
+                        nbytes=info.get("nbytes", 0),
+                        count_loss=False,
+                        bursts=bursts,
+                    )
+                )
         elif kind in ("datagram-lost", "blackhole"):
             self.losses += 1
             nbytes = info.get("nbytes", 0)

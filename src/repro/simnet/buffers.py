@@ -22,9 +22,10 @@ Rules for driver authors
 ------------------------
 
 * Only hand ``append`` buffers you will not mutate afterwards.  ``bytes``
-  are stored by reference; anything else (bytearray, memoryview) is
-  snapshotted to ``bytes``, so passing them is correct but forfeits the
-  zero-copy win — produce ``bytes`` on the hot path.
+  and read-only byte views backed by ``bytes`` are stored by reference;
+  anything writable (bytearray, writable memoryview) is snapshotted to
+  ``bytes``, so passing those is correct but forfeits the zero-copy win —
+  produce ``bytes`` or immutable views on the hot path.
 * ``take``/``peek`` return ``bytes`` — consumers own them outright.
 * A chunk is pinned until fully consumed: taking 1 byte of a 64 KB chunk
   keeps the 64 KB alive.  That matches the simulator's traffic (chunks are
@@ -52,13 +53,24 @@ class ByteRing:
 
     # -- producing ---------------------------------------------------------
     def append(self, data) -> None:
-        """Enqueue ``data``; ``bytes`` are kept by reference (zero-copy).
+        """Enqueue ``data``; immutable buffers are kept by reference.
 
-        Anything else (bytearray, memoryview, ...) is snapshotted to bytes —
-        defensively for writable buffers, and so that every stored chunk is
-        a plain ``bytes`` and the consuming paths slice without type checks.
+        ``bytes`` are stored as-is.  Read-only byte views backed by
+        ``bytes`` (what the fluid fast path delivers) are equally immutable,
+        so they are also stored by reference — pinning the view pins the
+        backing bytes, and no fresh copy is materialised per delivered
+        burst.  Anything writable (bytearray, writable views) is
+        defensively snapshotted.  ``take``/``peek`` still hand out plain
+        ``bytes``; the conversion happens at that consumer boundary.
         """
-        if type(data) is not bytes:
+        if type(data) is not bytes and not (
+            type(data) is memoryview
+            and data.readonly
+            and data.contiguous
+            and data.ndim == 1
+            and data.itemsize == 1
+            and type(data.obj) is bytes
+        ):
             data = bytes(data)
         if not data:
             return
@@ -88,12 +100,14 @@ class ByteRing:
             end = head + nbytes
             self._head = end
             self._size = size - nbytes
-            return first[head:end]
+            out = first[head:end]
+            return out if type(out) is bytes else bytes(out)
         if nbytes == avail:
             chunks.popleft()
             self._head = 0
             self._size = size - nbytes
-            return first[head:] if head else first
+            out = first[head:] if head else first
+            return out if type(out) is bytes else bytes(out)
         parts = []
         remaining = nbytes
         while remaining:
@@ -112,6 +126,40 @@ class ByteRing:
         self._size = size - nbytes
         return b"".join(parts)
 
+    def take_iov(self, nbytes: Optional[int] = None) -> list:
+        """Consume up to ``nbytes`` as a list of chunk references (no join).
+
+        The scatter-gather variant of :meth:`take`: consumers that forward
+        or account buffers without flattening them (relays, bulk sinks,
+        iovec-style personalities) skip the assembly copy entirely.  Chunks
+        are immutable buffers the caller owns outright; only a partially
+        consumed head chunk is sliced.
+        """
+        size = self._size
+        if nbytes is None or nbytes >= size:
+            nbytes = size
+        if nbytes <= 0:
+            return []
+        chunks = self._chunks
+        head = self._head
+        parts = []
+        remaining = nbytes
+        while remaining:
+            first = chunks[0]
+            avail = len(first) - head
+            if avail <= remaining:
+                parts.append(first[head:] if head else first)
+                chunks.popleft()
+                head = 0
+                remaining -= avail
+            else:
+                parts.append(first[head : head + remaining])
+                head += remaining
+                remaining = 0
+        self._head = head
+        self._size = size - nbytes
+        return parts
+
     def peek(self, nbytes: int) -> bytes:
         """The next ``nbytes`` (or fewer, at the tail) without consuming."""
         size = self._size
@@ -122,7 +170,8 @@ class ByteRing:
         head = self._head
         first = self._chunks[0]
         if len(first) - head >= nbytes:
-            return first[head : head + nbytes]
+            out = first[head : head + nbytes]
+            return out if type(out) is bytes else bytes(out)
         parts = []
         remaining = nbytes
         for chunk in self._chunks:

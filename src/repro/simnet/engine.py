@@ -607,6 +607,27 @@ class Simulator:
         del partition
         return self.call_at(when, fn, *args)
 
+    def is_boundary(self, network: Any) -> bool:
+        """True when ``network`` spans event-loop partitions.  Always False
+        on the single-loop kernel (there is nothing to span)."""
+        del network
+        return False
+
+    def call_at_barrier(self, when: float, fn: Callable, *args: Any) -> None:
+        """Schedule ``fn(*args)`` to run at a window barrier at/after ``when``.
+
+        Global-state mutations that are unsafe mid-window on a partitioned
+        kernel (e.g. churn degrading a *boundary* link's latency below the
+        in-flight window) go through this: the partitioned kernel defers
+        them to the next window edge, where every shard has reached a common
+        virtual time and the next window is sized from the mutated
+        parameters.  The single-loop kernel has no windows, so this is a
+        plain :meth:`call_at`.  Returns ``None`` (barrier hooks are not
+        cancellable).
+        """
+        self.call_at(when, fn, *args)
+        return None
+
     def in_partition(self, partition: int):
         """Context manager routing scheduling calls to ``partition``.
 

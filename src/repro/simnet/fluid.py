@@ -1,0 +1,829 @@
+"""Fluid-model fast path: collapse stable TCP flows into rate events.
+
+PR 3 made the event kernel cheap and PR 5 sharded it; what remains on the
+deployment profile is the *model*: ``TcpConnection._pump`` costs a handful
+of events plus frame/delivery/observer machinery per congestion-window
+burst, so a bulk stream pays O(bytes / receive_window) heavyweight rounds.
+For a flow whose conditions are stable — no loss draws, link parameters
+unchanged, no competing sender on its NIC, no churn on the path — every one
+of those rounds is fully determined in advance.  This module detects that
+stability per connection and advances such flows analytically.
+
+Two fluid tiers, chosen per pump:
+
+``step``
+    one analytic round: same gather / loss draw / NIC reservation / window
+    update as the packet model, but without constructing ``Frame`` /
+    ``Delivery`` objects, demultiplexing through the stack, or charging
+    per-layer costs object-by-object.  The arithmetic follows the packet
+    path operation-for-operation, so the produced virtual times are
+    *float-identical* to the packet model.  Works at any loss rate: the
+    loss draw happens first, and a positive draw hands the already-drawn
+    round back to the packet path (the RNG stream never forks).
+
+``epoch``
+    the closed-form tier: when the window is pinned at the receiver cap,
+    the link is loss-free and this flow is the only active sender on its
+    NIC, up to ``FluidPolicy.max_epoch_rounds`` rounds are planned in one
+    pass — per-round NIC reservations, completion times and the byte
+    ledger are computed analytically — and committed immediately.  One
+    batched delivery event fires at the epoch's end instead of one per
+    burst.  Any churn on the link (via :meth:`Network.invalidate_fluid`)
+    rolls the *uncommitted* suffix of the plan back exactly: un-consumed
+    bytes return to the send queue, NIC occupancy and window state rewind,
+    and the flow resumes in packet mode at the precise virtual time the
+    packet model would have pumped next.
+
+Fidelity contract (what "hybrid" guarantees vs pure packet mode):
+
+* delivered byte counts are exactly equal, always;
+* virtual completion times are float-identical for step rounds and for
+  epochs that run to completion; an epoch interrupted by churn delivers
+  its committed prefix at the committed rounds' ready time (bytes exact,
+  intermediate availability batched at epoch granularity);
+* the per-connection RNG stream is consumed identically, so loss
+  sequences — and everything downstream of them — match the packet run;
+* passive observers see synthesized ``tcp-burst`` observations carrying a
+  ``bursts=N`` weight whose batched estimator update is value-equal to N
+  sequential per-burst updates (closed-form EWMA / window fill).
+
+Known, documented divergences: ``Frame`` objects are not constructed (the
+frame-id counter is still advanced to keep ids aligned for later frames),
+per-burst observation timestamps collapse to the flush time, and a flow
+whose endpoints live in different partitions never fluidizes (all fluid
+bookkeeping is shard-local by construction).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simnet.host import Host
+    from repro.simnet.network import Network
+
+
+@dataclass
+class FluidPolicy:
+    """Tunable thresholds of the fidelity controller."""
+
+    #: consecutive zero-loss packet rounds before a flow may fluidize.
+    stable_rounds: int = 8
+    #: upper bound on rounds collapsed into a single epoch plan.
+    max_epoch_rounds: int = 64
+    #: flush synthesized tcp-burst observations every N accumulated bursts
+    #: (epochs always flush at their boundary regardless).
+    observation_batch: int = 32
+    #: receiver-pressure fallback: drop to packet mode when the peer's
+    #: receive buffer exceeds this many receive windows.  The packet model
+    #: has no flow control (a large ``recv_exact`` legitimately buffers the
+    #: whole transfer), so this only catches a receiver that stopped
+    #: reading altogether.
+    rx_pressure_windows: int = 64
+
+
+def steady_state_rate(network: "Network", cwnd: int, receive_window: int,
+                      nflows: int = 1) -> float:
+    """Analytic steady-state goodput of the window model on a clean link.
+
+    Each round moves ``window = min(cwnd, receive_window)`` payload bytes
+    and then waits ``max(rtt, serialization)``; with ``nflows`` active
+    senders sharing the NIC the wire occupancy multiplies.  This is the
+    rate the packet model converges to and the rate the fluid epoch tier
+    realises exactly.
+    """
+    window = min(cwnd, receive_window)
+    if window <= 0:
+        return 0.0
+    rtt = 2.0 * network.latency
+    occupancy = network.serialization_time(window) * max(1, nflows)
+    return window / max(rtt, occupancy)
+
+
+class LinkRateLedger:
+    """Per-link registry of active TCP senders and fluidized flows.
+
+    In this model a link is switched full-duplex: transmissions contend
+    per *sending NIC* (``Nic.reserve_tx``), not across the whole segment,
+    so the capacity share the packet model converges to is
+    ``bandwidth / senders_on(host)``.  The ledger tracks exactly that — a
+    set of actively-pumping connections per source host — and notifies
+    fluidized flows when membership on their NIC changes so they fall back
+    to packet mode and re-fluidize under the new contention after another
+    stability window.
+    """
+
+    def __init__(self, network: "Network") -> None:
+        self.network = network
+        self._senders: Dict["Host", Set[object]] = {}
+        self._fluid: Set["FluidController"] = set()
+
+    # -- membership ---------------------------------------------------------
+    def join(self, conn) -> None:
+        """A connection started pumping (its send queue went non-empty)."""
+        active = self._senders.setdefault(conn.host, set())
+        if conn in active:
+            return
+        active.add(conn)
+        self._notify(conn, "flow-join")
+
+    def leave(self, conn) -> None:
+        """A connection drained its send queue (or closed)."""
+        active = self._senders.get(conn.host)
+        if not active or conn not in active:
+            return
+        active.discard(conn)
+        if not active:
+            del self._senders[conn.host]
+        self._notify(conn, "flow-leave")
+
+    def senders_on(self, host: "Host") -> int:
+        return len(self._senders.get(host, ()))
+
+    def sole_sender(self, conn) -> bool:
+        return self._senders.get(conn.host) == {conn}
+
+    def fair_share(self, conn) -> float:
+        """Capacity share of ``conn`` under the current NIC contention."""
+        return self.network.bandwidth / max(1, self.senders_on(conn.host))
+
+    # -- fluid-flow registry -------------------------------------------------
+    def register_fluid(self, controller: "FluidController") -> None:
+        self._fluid.add(controller)
+
+    def unregister_fluid(self, controller: "FluidController") -> None:
+        self._fluid.discard(controller)
+
+    def fluid_count(self) -> int:
+        return len(self._fluid)
+
+    def invalidate(self, reason: str) -> None:
+        """Link conditions changed: drop every fluidized flow to packet mode."""
+        for controller in list(self._fluid):
+            controller.invalidate(reason)
+
+    def _notify(self, conn, reason: str) -> None:
+        # Contention only changed for flows sharing the joining/leaving
+        # connection's NIC; fluid flows elsewhere on the link are unaffected.
+        for controller in list(self._fluid):
+            other = controller.conn
+            if other is not conn and other.host is conn.host:
+                controller.invalidate(reason)
+
+
+def ledger_for(network: "Network") -> LinkRateLedger:
+    """The link's rate-share ledger, created lazily on first use."""
+    ledger = network.fluid_ledger
+    if ledger is None:
+        ledger = network.fluid_ledger = LinkRateLedger(network)
+    return ledger
+
+
+# One planned round of an epoch, as a tuple (the epoch tier allocates one
+# per collapsed congestion-window round; attribute objects would dominate
+# the planning loop).  All times are absolute virtual time.
+R_T = 0        # pump time
+R_BEGIN = 1    # wire occupancy start
+R_END = 2      # wire occupancy end
+R_ARRIVAL = 3  # last byte at the peer NIC
+R_READY = 4    # data readable by the application
+R_NBYTES = 5
+R_NPKTS = 6
+
+
+class _Epoch:
+    """A committed multi-round plan, kept until its trailing pump (or churn).
+
+    The plan is stored *run-length encoded*: uniform full-window rounds —
+    the overwhelming bulk of a transfer — share one ``runs`` entry and one
+    payload view, and the per-round timing tuples exist only transiently,
+    replayed from the recorded initial recurrence state when a rollback
+    actually needs them (see :meth:`FluidController._materialize_rounds`).
+    The replay performs the identical float operations in the identical
+    order as the planning loop, so the regenerated rounds are bit-exact.
+    """
+
+    __slots__ = (
+        "runs",
+        "parts",
+        "nbytes",
+        "completions",
+        "deliver_handle",
+        "pump_handle",
+        "final_tx_free",
+        "t0",
+        "tx_free0",
+        "rx_ready0",
+        "rtt",
+        "latency",
+    )
+
+    def __init__(self, runs, parts, nbytes, completions, deliver_handle,
+                 pump_handle, final_tx_free, t0, tx_free0, rx_ready0,
+                 rtt, latency):
+        #: run-length encoded plan: (count, nbytes, ser, rc, npkts) per run
+        self.runs: List[tuple] = runs
+        #: zero-copy views into the queued send buffers, in wire order; the
+        #: epoch never concatenates them (a 64-round plan would otherwise
+        #: materialise a multi-MiB temporary per in-flight flow).
+        self.parts: List[memoryview] = parts
+        self.nbytes = nbytes
+        #: per fully-consumed send, in consumption order:
+        #: [end_offset_in_plan, done_event, total, timer_handle_or_None,
+        #:  arrival_of_final_byte]
+        self.completions = completions
+        self.deliver_handle = deliver_handle
+        self.pump_handle = pump_handle
+        self.final_tx_free = final_tx_free
+        #: recurrence state at planning time, for bit-exact replay; rtt and
+        #: latency are snapshotted because a rollback is usually *caused by*
+        #: a parameter change, and the replay must use the planned values.
+        self.t0 = t0
+        self.tx_free0 = tx_free0
+        self.rx_ready0 = rx_ready0
+        self.rtt = rtt
+        self.latency = latency
+
+
+class FluidController:
+    """Per-connection fidelity controller (owned by ``TcpConnection``).
+
+    The controller rides the packet pump as a pure observer until
+    ``FluidPolicy.stable_rounds`` consecutive zero-loss rounds accumulate
+    and the flow is eligible, then takes over the pump.  Any invalidation
+    drops it back to observer mode and restarts the stability count.
+    """
+
+    def __init__(self, conn, policy: Optional[FluidPolicy] = None) -> None:
+        self.conn = conn
+        self.policy = policy or FluidPolicy()
+        self.active = False
+        self._stable = 0
+        self._joined = False
+        self._ledger: Optional[LinkRateLedger] = None
+        self._peer_conn = None
+        self._epoch: Optional[_Epoch] = None
+        # pending synthesized observations (flushed as one tcp-burst);
+        # latency/bandwidth are snapshotted when a batch *starts* so a
+        # flush that happens after link churn still reports the parameters
+        # the batched rounds actually ran under (any churn invalidates the
+        # flow, so a batch never straddles a parameter change).
+        self._obs_bursts = 0
+        self._obs_npkts = 0
+        self._obs_nbytes = 0
+        self._obs_latency = 0.0
+        self._obs_bandwidth = 0.0
+        # introspection / test hooks
+        self.activations = 0
+        self.fluid_rounds = 0
+        self.epochs = 0
+        self.epoch_rounds = 0
+        self.invalidations: Deque[Tuple[float, str]] = deque(maxlen=32)
+
+    # -- lifecycle hooks called by TcpConnection ----------------------------
+    def on_join(self) -> None:
+        """The send queue went non-empty: register NIC contention."""
+        if not self._joined:
+            self._joined = True
+            self._ledger = ledger_for(self.conn.network)
+            self._ledger.join(self.conn)
+
+    def on_drain(self) -> None:
+        """The send queue drained (or the connection closed)."""
+        if self._epoch is not None:
+            self._finish_epoch()
+        self._flush_observations()
+        if self._joined:
+            self._joined = False
+            self._ledger.leave(self.conn)
+
+    def note_packet_round(self, lost_pkts: int) -> None:
+        """Observe a packet-mode round; activate after a stable streak."""
+        if lost_pkts > 0:
+            self._stable = 0
+            return
+        self._stable += 1
+        if (
+            not self.active
+            and self._stable >= self.policy.stable_rounds
+            and self._eligible()
+        ):
+            self.active = True
+            self.activations += 1
+            ledger_for(self.conn.network).register_fluid(self)
+
+    # -- eligibility ---------------------------------------------------------
+    def _resolve_peer(self):
+        peer = self._peer_conn
+        if peer is None:
+            stack = self.conn.peer_host.get_service("tcp")
+            if stack is None or self.conn.peer_conn_id is None:
+                return None
+            peer = stack._connections.get(self.conn.peer_conn_id)
+            self._peer_conn = peer
+        return peer
+
+    def _eligible(self) -> bool:
+        conn = self.conn
+        if conn.closed or not conn.established or conn.peer_conn_id is None:
+            return False
+        # fluid scheduling touches both endpoints synchronously: keep every
+        # fluidized flow shard-local (boundary flows stay packet-mode).
+        if conn.host.partition != conn.peer_host.partition:
+            return False
+        net = conn.network
+        if not net.link_alive(conn.host, conn.peer_host):
+            return False
+        peer = self._resolve_peer()
+        if peer is None or peer.closed:
+            return False
+        # receiver-window pressure: a reader that stopped draining means the
+        # steady state is no longer send-side limited — stay honest and slow.
+        limit = peer.stack.model.receive_window * self.policy.rx_pressure_windows
+        if len(peer._rx_buffer) > limit:
+            return False
+        return True
+
+    # -- invalidation ---------------------------------------------------------
+    def invalidate(self, reason: str) -> None:
+        """Synchronous fallback to packet mode (churn, contention, params)."""
+        if self._epoch is not None:
+            self._rollback_epoch()
+        self._deactivate(reason)
+
+    def _deactivate(self, reason: str) -> None:
+        if self.active:
+            self.active = False
+            self.invalidations.append((self.conn.sim.now, reason))
+            if self._ledger is not None:
+                self._ledger.unregister_fluid(self)
+        self._stable = 0
+        self._flush_observations()
+
+    # -- the pump ------------------------------------------------------------
+    def pump(self) -> bool:
+        """Run one fluid pump.  Returns False to let the packet path run."""
+        if self._epoch is not None:
+            # this is the epoch's trailing pump event: the plan is fully
+            # committed, close it out and continue from a clean state.
+            self._finish_epoch()
+        if not self.active:
+            return False
+        if not self._eligible():
+            self._deactivate("conditions-changed")
+            return False
+        conn = self.conn
+        window = min(conn.cwnd, conn.stack.model.receive_window)
+        if (
+            conn.network.loss_rate <= 0.0
+            and conn.cwnd >= conn.stack.model.receive_window
+            and self._ledger is not None
+            and self._ledger.sole_sender(conn)
+            and self._queued_beyond(window)
+        ):
+            return self._run_epoch(window)
+        return self._step_round(window)
+
+    def _queued_beyond(self, window: int) -> bool:
+        """True when more than one full window is queued (epochs collapse
+        multiple rounds; a window or less is a single step anyway)."""
+        queued = 0
+        for entry in self.conn._sendq:
+            queued += len(entry[0]) - entry[1]
+            if queued > window:
+                return True
+        return False
+
+    # -- step tier -----------------------------------------------------------
+    def _step_round(self, window: int) -> bool:
+        """One analytic round, float-identical to the packet pump."""
+        conn = self.conn
+        net = conn.network
+        sim = conn.sim
+        parts, attempted, finishing = conn._gather_window(window)
+        npkts = net.packets_for(attempted)
+        lost_pkts = conn._draw_losses(npkts)
+        if lost_pkts > 0 or attempted == 0:
+            # hand the round — with its already-consumed loss draw — back to
+            # the packet path so the fallback round is packet-exact.
+            self._deactivate("loss-draw" if lost_pkts else "empty-window")
+            conn._packet_round(parts, attempted, finishing, npkts, lost_pkts)
+            return True
+        self.fluid_rounds += 1
+        conn.rounds += 1
+        if net._observers:
+            self._note_burst(npkts, attempted)
+
+        ser = net.serialization_time(attempted)
+        nic = net.nic_of(conn.host)
+        begin, end = nic.reserve_tx(sim.now, ser)
+        arrival = end + net.latency
+        # views over the (immutable) queued send buffers ride to the peer's
+        # receive ring by reference; no per-burst payload is materialised.
+        payload = parts[0] if len(parts) == 1 else b"".join(parts)
+        conn.bytes_sent += attempted
+
+        # wire accounting the packet path would have done via Frame/transmit
+        next(net._frame_counter)
+        net.frames_sent += 1
+        net.bytes_carried += attempted
+        nic.tx_frames += 1
+        nic.tx_bytes += attempted
+        peer = self._peer_conn
+        peer_nic = net.nic_of(conn.peer_host)
+        peer_nic.rx_frames += 1
+        peer_nic.rx_bytes += attempted
+
+        # receive-side kernel crossing + copy, accumulated in the same float
+        # order as Delivery.cost (0.0 + syscall + copy)
+        cpu = peer.host.cpu
+        rc = cpu.syscall_overhead + attempted / cpu.memcpy_bandwidth
+        ready = arrival + rc
+        if ready < peer._last_rx_ready:
+            ready = peer._last_rx_ready
+        peer._last_rx_ready = ready
+        sim.call_at(ready, peer._append_rx, payload)
+
+        for done, total in finishing:
+            if done is None or done.triggered:
+                continue
+            sim.call_at(arrival, conn._complete_send, done, total)
+
+        conn._update_window(0, attempted)
+        if conn._sendq:
+            wait = max(conn.rtt, ser)
+            slack = nic.tx_free_at - sim.now
+            if slack > wait:
+                wait = slack
+            sim.call_later(wait, conn._pump)
+        else:
+            conn._pumping = False
+            self.on_drain()
+        return True
+
+    # -- epoch tier ----------------------------------------------------------
+    def _run_epoch(self, window: int) -> bool:
+        """Plan and commit up to ``max_epoch_rounds`` rounds in closed form.
+
+        Preconditions (checked by :meth:`pump`): zero loss rate, window
+        pinned at the receiver cap, sole active sender on the NIC.  Under
+        those, every round's timing is the deterministic recurrence
+        ``t_{i+1} = t_i + max(rtt, ser_i, tx_free_i - t_i)`` — exactly the
+        waits the packet pump would compute — so the plan is committed
+        up-front and only *rolled back* if churn arrives mid-epoch.
+        """
+        conn = self.conn
+        net = conn.network
+        sim = conn.sim
+        nic = net.nic_of(conn.host)
+        peer = self._peer_conn
+        cpu = peer.host.cpu
+        rtt = conn.rtt
+        latency = net.latency
+        sendq = conn._sendq
+        observed = bool(net._observers)
+
+        # constants of the uniform (full-window) rounds, computed with the
+        # identical expressions the per-round path uses so the produced
+        # floats match bit-for-bit
+        w_npkts = net.packets_for(window)
+        w_ser = net.serialization_time(window)
+        w_rc = cpu.syscall_overhead + window / cpu.memcpy_bandwidth
+
+        runs: List[tuple] = []
+        parts_all: List[memoryview] = []
+        completions: List[list] = []
+        t0 = t = sim.now
+        consumed = 0
+        rx_ready0 = rx_ready = peer._last_rx_ready
+        tx_free0 = tx_free = nic._tx_free_at
+        nrounds = 0
+        arrival = 0.0  # arrival of the most recently planned round
+        max_rounds = self.policy.max_epoch_rounds
+        while sendq and nrounds < max_rounds:
+            entry = sendq[0]
+            view, offset = entry[0], entry[1]
+            navail = len(view) - offset
+            if navail > window:
+                # Uniform stretch: k full windows off the head entry, no
+                # send completes — the dominant shape of a bulk transfer.
+                # One payload view and one run descriptor cover all k
+                # rounds; only the timing recurrence runs per round, with
+                # the identical float operations (in the identical order)
+                # the per-round path performs.  k leaves at least one byte
+                # on the entry so its completion round takes the slow path.
+                k = (navail - 1) // window
+                if k > max_rounds - nrounds:
+                    k = max_rounds - nrounds
+                parts_all.append(view[offset : offset + k * window])
+                entry[1] = offset + k * window
+                runs.append((k, window, w_ser, w_rc, w_npkts))
+                nrounds += k
+                consumed += k * window
+                for _ in range(k):
+                    # Nic.reserve_tx, inlined (no competing sender can
+                    # interleave while the plan is being laid out)
+                    begin = t if t > tx_free else tx_free
+                    end = begin + w_ser
+                    tx_free = end
+                    # == (end + latency) + rc: arrival, then readiness
+                    ready = end + latency + w_rc
+                    if ready < rx_ready:
+                        ready = rx_ready
+                    rx_ready = ready
+                    # next pump time, exactly as the packet pump computes it
+                    wait = rtt if rtt > w_ser else w_ser
+                    slack = tx_free - t
+                    if slack > wait:
+                        wait = slack
+                    t = t + wait
+                arrival = end + latency
+                if observed:
+                    if self._obs_bursts == 0:
+                        self._obs_latency = latency
+                        self._obs_bandwidth = net.bandwidth
+                    self._obs_bursts += k
+                    self._obs_npkts += k * w_npkts
+                    self._obs_nbytes += k * window
+                continue
+            parts, attempted, finishing = conn._gather_window(window)
+            if attempted == 0:
+                for done, total in finishing:
+                    completions.append([consumed, done, total, None, arrival])
+                break
+            parts_all.extend(parts)
+            npkts = net.packets_for(attempted)
+            ser = net.serialization_time(attempted)
+            rc = cpu.syscall_overhead + attempted / cpu.memcpy_bandwidth
+            begin = t if t > tx_free else tx_free
+            end = begin + ser
+            tx_free = end
+            arrival = end + latency
+            ready = arrival + rc
+            if ready < rx_ready:
+                ready = rx_ready
+            rx_ready = ready
+            consumed += attempted
+            nrounds += 1
+            runs.append((1, attempted, ser, rc, npkts))
+            for done, total in finishing:
+                # a send completes at the arrival of the round carrying
+                # its last byte — this one
+                completions.append([consumed, done, total, None, arrival])
+            if observed:
+                if self._obs_bursts == 0:
+                    self._obs_latency = latency
+                    self._obs_bandwidth = net.bandwidth
+                self._obs_bursts += 1
+                self._obs_npkts += npkts
+                self._obs_nbytes += attempted
+            wait = rtt if rtt > ser else ser
+            slack = tx_free - t
+            if slack > wait:
+                wait = slack
+            t = t + wait
+        if not nrounds:
+            return self._step_round(window)
+
+        # NOTE: no per-round `_update_window` calls — the preconditions pin
+        # ``cwnd == receive_window`` (zero loss leaves ssthresh untouched and
+        # the additive increase is clamped straight back to the cap), so the
+        # packet model's window state is provably unchanged by these rounds.
+        nic._tx_free_at = tx_free
+        self.epochs += 1
+        self.epoch_rounds += nrounds
+        self.fluid_rounds += nrounds
+        conn.rounds += nrounds
+        conn.bytes_sent += consumed
+        # wire accounting the packet path would have charged round-by-round
+        frame_counter = net._frame_counter
+        for _ in range(nrounds):
+            next(frame_counter)
+        net.frames_sent += nrounds
+        net.bytes_carried += consumed
+        nic.tx_frames += nrounds
+        nic.tx_bytes += consumed
+        peer_nic = net.nic_of(conn.peer_host)
+        peer_nic.rx_frames += nrounds
+        peer_nic.rx_bytes += consumed
+        peer._last_rx_ready = rx_ready
+
+        for comp in completions:
+            done = comp[1]
+            if done is None or done.triggered:
+                continue
+            comp[3] = sim.call_at(comp[4], conn._complete_send, done, comp[2])
+        deliver = sim.call_at(rx_ready, self._epoch_deliver, peer, parts_all)
+        pump = sim.call_at(t, conn._pump)
+        self._epoch = _Epoch(
+            runs, parts_all, consumed, completions, deliver, pump,
+            nic.tx_free_at, t0, tx_free0, rx_ready0, rtt, latency,
+        )
+        # claim the NIC: any competing reserve_tx invalidates this epoch
+        # first, so foreign frames never queue behind planned-future rounds
+        nic._fluid_holder = self
+        return True
+
+    @staticmethod
+    def _materialize_rounds(epoch: _Epoch) -> List[tuple]:
+        """Replay the planning recurrence into per-round timing tuples.
+
+        Bit-exact with the planning loop: the same float operations in the
+        same order, seeded from the recorded initial state and the
+        parameters the plan was laid out under (not the current ones — a
+        rollback is usually *caused by* a parameter change).
+        """
+        rtt = epoch.rtt
+        latency = epoch.latency
+        t = epoch.t0
+        tx_free = epoch.tx_free0
+        rx_ready = epoch.rx_ready0
+        rounds: List[tuple] = []
+        for count, nbytes, ser, rc, npkts in epoch.runs:
+            for _ in range(count):
+                begin = t if t > tx_free else tx_free
+                end = begin + ser
+                tx_free = end
+                arrival = end + latency
+                ready = arrival + rc
+                if ready < rx_ready:
+                    ready = rx_ready
+                rx_ready = ready
+                rounds.append((t, begin, end, arrival, ready, nbytes, npkts))
+                wait = rtt if rtt > ser else ser
+                slack = tx_free - t
+                if slack > wait:
+                    wait = slack
+                t = t + wait
+        return rounds
+
+    @staticmethod
+    def _epoch_deliver(peer_conn, parts: List[memoryview]) -> None:
+        if peer_conn.closed:
+            return
+        peer_conn._append_rx_parts(parts)
+
+    @staticmethod
+    def _slice_parts(parts: List[memoryview], lo: int, hi: int) -> List[memoryview]:
+        """Views covering byte range ``[lo, hi)`` of the parts' concatenation."""
+        out: List[memoryview] = []
+        acc = 0
+        for part in parts:
+            if acc >= hi:
+                break
+            n = len(part)
+            if acc + n > lo:
+                a = lo - acc if lo > acc else 0
+                b = hi - acc if hi - acc < n else n
+                out.append(part[a:b] if (a, b) != (0, n) else part)
+            acc += n
+        return out
+
+    def _release_nic(self) -> None:
+        nic = self.conn.network.nic_of(self.conn.host)
+        if nic._fluid_holder is self:
+            nic._fluid_holder = None
+
+    def _finish_epoch(self) -> None:
+        self._release_nic()
+        self._epoch = None
+        self._flush_observations()
+
+    def _rollback_epoch(self) -> None:
+        """Undo the uncommitted suffix of the current epoch, packet-exactly.
+
+        A round is *committed* once its pump time has passed: in the packet
+        model its burst is already on the wire, and this model's in-flight
+        frames survive link churn (``link_alive`` is checked at transmit
+        time only), so committed rounds delivering is exact.  Everything
+        later is unwound: bytes return to the send queue, completion events
+        are cancelled, NIC occupancy and window state rewind, and the next
+        packet pump lands at the uncommitted round's planned time — which
+        is the exact time the packet model (having scheduled it with
+        pre-churn parameters) would have pumped.
+        """
+        self._release_nic()
+        epoch, self._epoch = self._epoch, None
+        conn = self.conn
+        sim = conn.sim
+        now = sim.now
+        rounds = self._materialize_rounds(epoch)
+        ncommitted = 0
+        for rnd in rounds:
+            if rnd[R_T] <= now:
+                ncommitted += 1
+            else:
+                break
+        if ncommitted == len(rounds):
+            # fully committed: the pending deliver/pump events are already
+            # exact; nothing to unwind.
+            return
+
+        net = conn.network
+        nic = net.nic_of(conn.host)
+        peer = self._peer_conn
+        peer_nic = net.nic_of(conn.peer_host)
+        committed = rounds[:ncommitted]
+        uncommitted = rounds[ncommitted:]
+        cut = sum(rnd[R_NBYTES] for rnd in committed)
+        undone_bytes = epoch.nbytes - cut
+        undone_rounds = len(uncommitted)
+
+        # sender-side ledger rewind
+        conn.bytes_sent -= undone_bytes
+        conn.rounds -= undone_rounds
+        net.frames_sent -= undone_rounds
+        net.bytes_carried -= undone_bytes
+        nic.tx_frames -= undone_rounds
+        nic.tx_bytes -= undone_bytes
+        peer_nic.rx_frames -= undone_rounds
+        peer_nic.rx_bytes -= undone_bytes
+        self._obs_bursts -= undone_rounds
+        for rnd in uncommitted:
+            self._obs_npkts -= rnd[R_NPKTS]
+            self._obs_nbytes -= rnd[R_NBYTES]
+        # NIC occupancy: release the uncommitted reservations (unless some
+        # later transmission already queued behind the epoch).
+        if nic.tx_free_at == epoch.final_tx_free:
+            nic.rewind_tx(committed[-1][R_END])
+
+        # receive side: replace the batched delivery with the committed prefix
+        epoch.deliver_handle.cancel()
+        ready_c = committed[-1][R_READY]
+        peer._last_rx_ready = ready_c
+        sim.call_at(
+            max(ready_c, now),
+            self._epoch_deliver,
+            peer,
+            self._slice_parts(epoch.parts, 0, cut),
+        )
+
+        # completions: cancel the ones whose last byte was unwound, and
+        # return the unsent suffix to the head of the send queue with its
+        # per-send completion bookkeeping intact (a send split by the cut
+        # keeps its event on the requeued remainder, like a packet-mode
+        # retransmit requeue).
+        restored: List[list] = []
+        start = 0
+        for end_off, done, total, handle, _arrival in epoch.completions:
+            if end_off > cut:
+                if handle is not None:
+                    handle.cancel()
+                lo = start if start > cut else cut
+                # a range may straddle gather fragments; the completion event
+                # rides the last restored piece (its final byte).
+                pieces = self._slice_parts(epoch.parts, lo, end_off)
+                for piece in pieces[:-1]:
+                    restored.append([piece, 0, None, 0])
+                restored.append([pieces[-1], 0, done, total])
+            start = end_off
+        tail_start = epoch.completions[-1][0] if epoch.completions else 0
+        if epoch.nbytes > tail_start:
+            # trailing bytes belong to the entry still sitting at the queue
+            # head (it was only partially consumed): rewind its offset.
+            give_back = epoch.nbytes - (tail_start if tail_start > cut else cut)
+            if give_back > 0:
+                conn._sendq[0][1] -= give_back
+        for entry in reversed(restored):
+            conn._sendq.appendleft(entry)
+
+        # resume the packet pump where the packet model would have
+        epoch.pump_handle.cancel()
+        sim.call_at(uncommitted[0][R_T], conn._pump)
+
+    # -- synthesized observations ---------------------------------------------
+    def _note_burst(self, npkts: int, nbytes: int) -> None:
+        if self._obs_bursts == 0:
+            net = self.conn.network
+            self._obs_latency = net.latency
+            self._obs_bandwidth = net.bandwidth
+        self._obs_bursts += 1
+        self._obs_npkts += npkts
+        self._obs_nbytes += nbytes
+        if self._obs_bursts >= self.policy.observation_batch and self._epoch is None:
+            self._flush_observations()
+
+    def _flush_observations(self) -> None:
+        bursts = self._obs_bursts
+        if not bursts:
+            return
+        npkts, nbytes = self._obs_npkts, self._obs_nbytes
+        self._obs_bursts = self._obs_npkts = self._obs_nbytes = 0
+        net = self.conn.network
+        if net._observers:
+            # One weighted observation standing in for `bursts` per-burst
+            # ones: zero-loss by construction (a loss draw ends fluid mode
+            # before it is ever batched), with the frame-timing fields the
+            # packet path's real frames would have exposed.
+            net._observe(
+                "tcp-burst",
+                npkts=npkts,
+                lost_pkts=0,
+                nbytes=nbytes,
+                bursts=bursts,
+                fluid=True,
+                latency=self._obs_latency,
+                bandwidth=self._obs_bandwidth,
+            )

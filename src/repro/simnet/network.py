@@ -40,6 +40,28 @@ PARADIGM_PARALLEL = "parallel"
 PARADIGM_DISTRIBUTED = "distributed"
 
 
+def _immutable_payload(data):
+    """``data`` if already immutable, else a ``bytes`` snapshot.
+
+    Frames pin their payload until delivery, so a defensive copy of an
+    already-immutable buffer is pure waste — and on the TCP bulk path it is
+    *the* dominant per-burst cost (a congestion window is 256 KiB).  The
+    rule matches :meth:`repro.simnet.buffers.ByteRing.append`: ``bytes``
+    and read-only byte views backed by ``bytes`` ride by reference,
+    anything writable is snapshotted.
+    """
+    if type(data) is bytes or (
+        type(data) is memoryview
+        and data.readonly
+        and data.contiguous
+        and data.ndim == 1
+        and data.itemsize == 1
+        and type(data.obj) is bytes
+    ):
+        return data
+    return bytes(data)
+
+
 @dataclass
 class Frame:
     """One message handed to the wire by a NIC."""
@@ -49,6 +71,9 @@ class Frame:
     dst: "Host"
     network: "Network"
     channel: Any
+    #: an immutable buffer: ``bytes``, or a read-only ``bytes``-backed
+    #: memoryview on the zero-copy TCP data path (consumers that need a
+    #: flat ``bytes`` convert at their own boundary).
     payload: bytes
     meta: Dict[str, Any] = field(default_factory=dict)
 
@@ -119,6 +144,13 @@ class Nic:
         self.network = network
         self.address = address
         self._tx_free_at = 0.0
+        #: fluid epoch currently holding pre-committed future reservations
+        #: on this NIC (set by :class:`repro.simnet.fluid.FluidController`).
+        #: Any reservation by *other* traffic must invalidate it first, so
+        #: foreign frames queue behind the in-flight round only — exactly
+        #: where the packet model would put them — instead of behind the
+        #: epoch's entire planned future.
+        self._fluid_holder = None
         self._receive_handler: Optional[Callable[[Delivery], None]] = None
         self._owner: Optional[str] = None
         self.tx_frames = 0
@@ -145,6 +177,14 @@ class Nic:
     # -- transmit --------------------------------------------------------------
     def reserve_tx(self, start: float, duration: float) -> Tuple[float, float]:
         """Serialise outbound transmissions on this NIC (link occupancy)."""
+        holder = self._fluid_holder
+        if holder is not None:
+            # Competing traffic (a handshake, a datagram, another flow's
+            # burst) wants the wire mid-epoch: unwind the epoch's
+            # uncommitted reservations so this frame lands at the exact
+            # slot the packet model would give it.
+            self._fluid_holder = None
+            holder.invalidate("nic-contention")
         begin = max(start, self._tx_free_at)
         end = begin + duration
         self._tx_free_at = end
@@ -153,6 +193,11 @@ class Nic:
     @property
     def tx_free_at(self) -> float:
         return self._tx_free_at
+
+    def rewind_tx(self, to: float) -> None:
+        """Release future occupancy back to ``to`` (fluid-epoch rollback:
+        the unwound rounds' reservations were never really on the wire)."""
+        self._tx_free_at = to
 
     # -- receive ----------------------------------------------------------------
     def handle_arrival(self, frame: Frame, arrived_at: float) -> None:
@@ -219,6 +264,10 @@ class Network:
         self.partition: Optional[int] = None
         #: traffic observers (passive link probes); see :meth:`add_observer`.
         self._observers: List[Callable[["Network", str, Dict[str, Any]], None]] = []
+        #: per-link rate-share ledger for the fluid fast path, created
+        #: lazily by :func:`repro.simnet.fluid.ledger_for` the first time a
+        #: hybrid-fidelity TCP connection pumps on this link.
+        self.fluid_ledger = None
 
     # -- topology ----------------------------------------------------------------
     def connect(self, host: "Host") -> Nic:
@@ -293,6 +342,18 @@ class Network:
         """True when the wire and both endpoints are physically up."""
         return self.up and src.up and dst.up
 
+    def invalidate_fluid(self, reason: str = "link-params") -> None:
+        """Drop every fluidized flow on this link back to the packet model.
+
+        Must be called after any out-of-band change to the link's
+        parameters or state (the churn injector does this); fluid flows
+        pick up *scheduled* parameter reads per round on their own, but a
+        committed multi-round epoch plan has to be rolled back explicitly.
+        """
+        ledger = self.fluid_ledger
+        if ledger is not None:
+            ledger.invalidate(reason)
+
     # -- timing model ---------------------------------------------------------------
     def packets_for(self, nbytes: int) -> int:
         """Number of MTU-sized packets needed for ``nbytes`` of payload."""
@@ -343,7 +404,7 @@ class Network:
             dst=dst,
             network=self,
             channel=channel,
-            payload=bytes(payload),
+            payload=_immutable_payload(payload),
             meta=dict(meta or {}),
         )
         sw = send_cost.seconds if send_cost is not None else 0.0

@@ -239,7 +239,7 @@ class Loopback(Network):
         return super().transmit(src, dst, payload, **kwargs)
 
     def _transmit_self(self, host, payload, *, channel=None, send_cost=None, meta=None):
-        from repro.simnet.network import Frame
+        from repro.simnet.network import Frame, _immutable_payload
 
         nic = self.nic_of(host)
         frame = Frame(
@@ -248,7 +248,7 @@ class Loopback(Network):
             dst=host,
             network=self,
             channel=channel,
-            payload=bytes(payload),
+            payload=_immutable_payload(payload),
             meta=dict(meta or {}),
         )
         sw = send_cost.seconds if send_cost is not None else 0.0

@@ -81,6 +81,7 @@ Determinism contract for scenario authors:
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import threading
 from typing import Any, Callable, List, Optional, Tuple
@@ -271,6 +272,10 @@ class PartitionedSimulator(Simulator):
         self._p_stopped = False
         self.windows_run = 0
         self.mailbox_deliveries = 0
+        # barrier-synchronized hooks: (when, seq, fn, args) min-heap, run at
+        # the first window edge at/after `when` (see call_at_barrier)
+        self._barrier_hooks: List[Tuple] = []
+        self._barrier_seq = itertools.count()
 
     # -- shard routing ------------------------------------------------------
     def _enter_shard(self, shard: _PartitionShard) -> None:
@@ -347,6 +352,25 @@ class PartitionedSimulator(Simulator):
 
     def boundary_networks(self) -> List[Any]:
         return list(self._boundaries)
+
+    def is_boundary(self, network: Any) -> bool:
+        return network in self._boundaries
+
+    def call_at_barrier(self, when: float, fn: Callable, *args: Any) -> None:
+        """Defer ``fn(*args)`` to the first window barrier at/after ``when``.
+
+        The hook runs on the facade between windows: every shard has drained
+        its window and sits at a common virtual time (``now`` reads the
+        facade clock), mailboxes are merged, and the *next* window's width
+        is computed after the hook — so a hook that degrades a boundary
+        link's latency below the old window width is safe: the next window
+        shrinks instead of violating lookahead mid-flight.  Hooks fire in
+        ``(when, registration order)``; scheduling calls made by a hook
+        route like deployment-construction code (partition 0 unless wrapped
+        in :meth:`in_partition`).
+        """
+        heapq.heappush(self._barrier_hooks, (when, next(self._barrier_seq), fn, args))
+        return None
 
     def effective_lookahead(self) -> float:
         """The window width for the next window: the minimum of the
@@ -438,6 +462,10 @@ class PartitionedSimulator(Simulator):
             t = shard.next_event_time()
             if t is not None and (best is None or t < best):
                 best = t
+        if self._barrier_hooks:
+            t = self._barrier_hooks[0][0]
+            if best is None or t < best:
+                best = t
         return best
 
     def run(self, until: Optional[Any] = None, max_time: Optional[float] = None) -> Any:
@@ -512,6 +540,12 @@ class PartitionedSimulator(Simulator):
             for shard in self._shards:
                 if shard._now > self._time:
                     self._time = shard._now
+            # window edge: every shard has reached the horizon — run the
+            # barrier hooks that have come due (boundary-link churn et al.)
+            hooks = self._barrier_hooks
+            while hooks and hooks[0][0] <= window_end and not self._p_stopped:
+                _when, _seq, fn, args = heapq.heappop(hooks)
+                fn(*args)
 
     def stop(self) -> None:
         """Stop the run: the executing shard halts immediately, remaining
@@ -523,8 +557,10 @@ class PartitionedSimulator(Simulator):
 
     # -- introspection -------------------------------------------------------
     def pending_count(self) -> int:
-        return sum(shard._live for shard in self._shards) + sum(
-            len(box) for box in self._mailboxes
+        return (
+            sum(shard._live for shard in self._shards)
+            + sum(len(box) for box in self._mailboxes)
+            + len(self._barrier_hooks)
         )
 
     def stats(self) -> SimStats:

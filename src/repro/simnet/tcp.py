@@ -30,6 +30,7 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.simnet.buffers import ByteRing
 from repro.simnet.cost import Cost, KB
+from repro.simnet.fluid import FluidController, FluidPolicy
 from repro.simnet.network import Delivery, Network, PARADIGM_DISTRIBUTED
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -71,10 +72,38 @@ class TcpError(ConnectionError):
     """Connection-level failures (refused, reset, closed)."""
 
 
-class TcpStack:
-    """Per-host OS network stack for distributed-paradigm networks."""
+FIDELITY_PACKET = "packet"
+FIDELITY_HYBRID = "hybrid"
 
-    def __init__(self, host: "Host", model: Optional[TcpModel] = None):
+
+class TcpStack:
+    """Per-host OS network stack for distributed-paradigm networks.
+
+    ``fidelity`` selects the simulation fidelity for this stack's
+    connections: ``"packet"`` (default) runs every congestion-window burst
+    through the full per-frame model; ``"hybrid"`` lets stable flows switch
+    to the fluid fast path (:mod:`repro.simnet.fluid`).  A custom
+    ``fluid_policy`` implies hybrid fidelity.
+    """
+
+    def __init__(
+        self,
+        host: "Host",
+        model: Optional[TcpModel] = None,
+        *,
+        fidelity: str = FIDELITY_PACKET,
+        fluid_policy: Optional[FluidPolicy] = None,
+    ):
+        if fluid_policy is not None:
+            fidelity = FIDELITY_HYBRID
+        if fidelity not in (FIDELITY_PACKET, FIDELITY_HYBRID):
+            raise ValueError(f"unknown fidelity {fidelity!r}")
+        self.fidelity = fidelity
+        self.fluid_policy = (
+            fluid_policy
+            if fluid_policy is not None
+            else (FluidPolicy() if fidelity == FIDELITY_HYBRID else None)
+        )
         self.host = host
         self.sim = host.sim
         self.model = model or TcpModel()
@@ -340,6 +369,10 @@ class TcpConnection:
         self.bytes_received = 0
         self.retransmitted_bytes = 0
         self.rounds = 0
+        # fidelity controller (hybrid mode only): observes packet rounds,
+        # takes over the pump for provably-stable stretches of the flow.
+        policy = stack.fluid_policy
+        self._fluid = FluidController(self, policy) if policy is not None else None
         # receive-side cursor serializing segment appends: a later smaller
         # segment's cheaper kernel-side processing must never let its bytes
         # overtake an earlier larger one — this is a byte stream.
@@ -379,6 +412,8 @@ class TcpConnection:
         self._sendq.append([memoryview(data), 0, done, len(data)])
         if not self._pumping:
             self._pumping = True
+            if self._fluid is not None:
+                self._fluid.on_join()
             # Charge the send()-side kernel crossing and user->kernel copy once
             # per send call; per-burst wire costs are handled by the pump.
             cost = Cost()
@@ -390,10 +425,27 @@ class TcpConnection:
     def _pump(self) -> None:
         if self.closed or not self._sendq:
             self._pumping = False
+            if self._fluid is not None:
+                self._fluid.on_drain()
+            return
+        fluid = self._fluid
+        if fluid is not None and fluid.pump():
             return
         window = min(self.cwnd, self.stack.model.receive_window)
-        # Gather up to one window of bytes from the head of the send queue
-        # as zero-copy slices; they are joined at most once below.
+        parts, attempted, finishing = self._gather_window(window)
+        npkts = self.network.packets_for(attempted)
+        lost_pkts = self._draw_losses(npkts)
+        self._packet_round(parts, attempted, finishing, npkts, lost_pkts)
+        if fluid is not None:
+            fluid.note_packet_round(lost_pkts)
+
+    def _gather_window(self, window: int):
+        """Take up to one window of bytes off the send queue head.
+
+        Returns ``(parts, attempted, finishing)``: zero-copy slices (joined
+        at most once downstream), the byte count, and the
+        ``(done_event, total)`` pairs of sends fully consumed by this window.
+        """
         parts: List[memoryview] = []
         attempted = 0
         finishing: List[Tuple["SimEvent", int]] = []
@@ -407,8 +459,17 @@ class TcpConnection:
             if entry[1] >= len(view):
                 self._sendq.popleft()
                 finishing.append((entry[2], entry[3]))
-        npkts = self.network.packets_for(attempted)
-        lost_pkts = self._draw_losses(npkts)
+        return parts, attempted, finishing
+
+    def _packet_round(
+        self,
+        parts: List[memoryview],
+        attempted: int,
+        finishing: List[Tuple["SimEvent", int]],
+        npkts: int,
+        lost_pkts: int,
+    ) -> None:
+        """Execute one full-fidelity burst round (the loss draw already made)."""
         delivered = attempted if lost_pkts == 0 else max(0, attempted - lost_pkts * self.mss)
         self.rounds += 1
         if npkts and self.network._observers:
@@ -480,6 +541,8 @@ class TcpConnection:
             self.sim.call_later(wait, self._pump)
         else:
             self._pumping = False
+            if self._fluid is not None:
+                self._fluid.on_drain()
 
     @staticmethod
     def _complete_send(done: "SimEvent", total: int) -> None:
@@ -532,6 +595,23 @@ class TcpConnection:
         if self._data_callback is not None and self._rx_buffer:
             self._data_callback(self)
 
+    def _append_rx_parts(self, parts) -> None:
+        """Batched arrival: enqueue every chunk, then wake readers once.
+
+        A fluid epoch hands the whole collapsed window sequence over in one
+        delivery; readers and the data callback observe it as a single
+        arrival, matching how they would see the bytes had they polled
+        after the packet model's final burst."""
+        append = self._rx_buffer.append
+        total = 0
+        for part in parts:
+            append(part)
+            total += len(part)
+        self.bytes_received += total
+        self._satisfy_reads()
+        if self._data_callback is not None and self._rx_buffer:
+            self._data_callback(self)
+
     def _on_fin(self, delivery: Delivery) -> None:
         # the close must not overtake data segments still being processed
         self.sim.call_at(max(delivery.ready_time(), self._last_rx_ready), self._do_close_passive)
@@ -572,6 +652,12 @@ class TcpConnection:
     def read_available(self, limit: Optional[int] = None) -> bytes:
         """Non-blocking read of whatever is buffered (up to ``limit``)."""
         return self._rx_buffer.take(limit)
+
+    def read_iov(self, limit: Optional[int] = None) -> list:
+        """Non-blocking scatter-gather read: the buffered chunks by
+        reference, without assembling them into one ``bytes`` (bulk sinks
+        and relays that never need a flat buffer skip that copy)."""
+        return self._rx_buffer.take_iov(limit)
 
     def recv(self, nbytes: Optional[int] = None) -> "SimEvent":
         """Event completing with at least one byte (up to ``nbytes``)."""

@@ -1,0 +1,551 @@
+"""Fidelity-boundary tests for the fluid fast path (`repro.simnet.fluid`).
+
+Every scenario here runs twice — once at packet fidelity, once hybrid —
+and asserts the hybrid run is observationally equivalent: delivered byte
+counts exactly equal, completion times float-identical, and passive-probe
+loss estimates unchanged (the sliding-window batch update is bit-exact;
+EWMA latency/bandwidth agree to float noise).  On top of the equivalence
+checks, each test pins down *which* fluid transition it exercised via the
+controller's introspection counters.
+"""
+
+import pytest
+
+from repro.abstraction.topology import TopologyKB
+from repro.core import FrameworkError, PadicoFramework
+from repro.monitoring.churn import FaultInjector
+from repro.monitoring.estimators import (
+    EwmaEstimator,
+    LinkEstimator,
+    SlidingWindowEstimator,
+)
+from repro.monitoring.probes import PassiveLinkProbe
+from repro.simnet.engine import Simulator
+from repro.simnet.fluid import (
+    FluidPolicy,
+    LinkRateLedger,
+    ledger_for,
+    steady_state_rate,
+)
+from repro.simnet.host import Host
+from repro.simnet.networks import Ethernet100, WanVthd
+from repro.simnet.tcp import TcpStack
+
+PORT = 4242
+MIB = 1024 * 1024
+
+
+def run_scenario(
+    fidelity,
+    *,
+    net_cls=Ethernet100,
+    nbytes=4 * MIB,
+    chunk=None,
+    policy=None,
+    probe=False,
+    degrades=(),
+    second=None,
+    second_connect="early",
+    reader="drain",
+):
+    """One client/server transfer over a two-host link, instrumented.
+
+    Returns a dict with completion times, byte counts, the sender-side
+    connections (their fluid controllers carry the introspection counters)
+    and, when requested, the passive probe + estimator and fault injector.
+    """
+    sim = Simulator()
+    net = net_cls(sim)
+    a, b = Host(sim, "a"), Host(sim, "b")
+    net.connect(a)
+    net.connect(b)
+    if policy is not None:
+        sa = TcpStack(a, fluid_policy=policy)
+    else:
+        sa = TcpStack(a, fidelity=fidelity)
+    sb = TcpStack(b, fidelity=fidelity)
+    out = {"sim": sim, "net": net}
+    if probe:
+        out["est"] = est = LinkEstimator()
+        out["probe"] = PassiveLinkProbe(net, est.update)
+    if degrades:
+        inj = out["injector"] = FaultInjector(sim, TopologyKB(), seed=11, announce=False)
+        for at, kwargs in degrades:
+            inj.degrade_link_at(at, net, **kwargs)
+    listener = sb.listen(PORT)
+    conns = {}
+
+    def client():
+        conn = yield sa.connect(b, PORT)
+        conns["c1"] = conn
+        out["t0"] = sim.now
+        if chunk:
+            sent = 0
+            while sent < nbytes:
+                n = min(chunk, nbytes - sent)
+                yield conn.send(b"x" * n)
+                sent += n
+        else:
+            yield conn.send(b"x" * nbytes)
+
+    def server():
+        conn = yield listener.accept()
+        conns["p1"] = conn
+        if reader == "none":
+            return
+        data = yield conn.recv_exact(nbytes)
+        out["t1"] = sim.now
+        out["ok1"] = data == b"x" * nbytes
+
+    sim.process(client())
+    sim.process(server())
+
+    if second is not None:
+        at2, nbytes2 = second
+        listener2 = sb.listen(PORT + 1)
+
+        def client2():
+            if second_connect == "early":
+                # establish up front, start sending at at2: the *data* of
+                # the second flow arrives through the ledger's flow-join
+                conn = yield sa.connect(b, PORT + 1)
+                conns["c2"] = conn
+                yield sim.timeout(at2)
+            else:
+                # connect at at2: the SYN itself contends for the NIC
+                yield sim.timeout(at2)
+                conn = yield sa.connect(b, PORT + 1)
+                conns["c2"] = conn
+            yield conn.send(b"y" * nbytes2)
+
+        def server2():
+            conn = yield listener2.accept()
+            data = yield conn.recv_exact(nbytes2)
+            out["t2"] = sim.now
+            out["ok2"] = data == b"y" * nbytes2
+
+        sim.process(client2())
+        sim.process(server2())
+
+    sim.run(max_time=600.0)
+    out["conn"] = conns.get("c1")
+    out["peer"] = conns.get("p1")
+    out["conn2"] = conns.get("c2")
+    out["fluid"] = out["conn"]._fluid if out.get("conn") is not None else None
+    return out
+
+
+def _reasons(controller):
+    return [reason for _at, reason in controller.invalidations]
+
+
+def _assert_equivalent(packet, hybrid):
+    """The observable contract: bytes exact, completion times float-equal."""
+    assert hybrid["ok1"] and packet["ok1"]
+    assert hybrid["t0"] == packet["t0"]
+    assert hybrid["t1"] == packet["t1"]
+    assert hybrid["conn"].bytes_sent == packet["conn"].bytes_sent
+    assert hybrid["conn"].rounds == packet["conn"].rounds
+    assert hybrid["peer"].bytes_received == packet["peer"].bytes_received
+
+
+def _assert_probe_equivalent(packet, hybrid):
+    """Passive estimates: loss bit-exact, latency/bandwidth to float noise."""
+    pe, he = packet["est"], hybrid["est"]
+    assert he.loss.samples == pe.loss.samples
+    assert he.loss.mean() == pe.loss.mean()
+    assert hybrid["probe"].frames == packet["probe"].frames
+    assert hybrid["probe"].losses == packet["probe"].losses
+    assert he.latency.value == pytest.approx(pe.latency.value, rel=1e-6)
+    assert he.bandwidth.value == pytest.approx(pe.bandwidth.value, rel=1e-6)
+
+
+# ---------------------------------------------------------------------------
+# baseline equivalence: stable flows fluidize and stay exact
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("chunk", [None, 64 * 1024], ids=["bulk", "chunked"])
+def test_hybrid_lan_transfer_is_float_identical(chunk):
+    packet = run_scenario("packet", chunk=chunk, probe=True)
+    hybrid = run_scenario("hybrid", chunk=chunk, probe=True)
+    _assert_equivalent(packet, hybrid)
+    _assert_probe_equivalent(packet, hybrid)
+    fl = hybrid["fluid"]
+    assert fl.activations >= 1
+    assert fl.fluid_rounds > 0
+    if chunk is None:
+        # a lossless sole-sender bulk flow must reach the closed-form tier
+        assert fl.epochs >= 1
+    else:
+        # awaited 64 KiB sends never queue more than one window: the flow
+        # stays in the step tier
+        assert fl.epochs == 0
+
+
+def test_fluid_collapses_event_count():
+    packet = run_scenario("packet", nbytes=8 * MIB)
+    hybrid = run_scenario("hybrid", nbytes=8 * MIB)
+    _assert_equivalent(packet, hybrid)
+    # the point of the fast path: far fewer scheduled timers for the same
+    # transfer (one batched delivery per epoch instead of one per burst)
+    assert (
+        hybrid["sim"].stats().timers_scheduled
+        < packet["sim"].stats().timers_scheduled * 0.7
+    )
+
+
+# ---------------------------------------------------------------------------
+# fallback: loss draw (satellite 3a)
+# ---------------------------------------------------------------------------
+
+
+def test_loss_draw_falls_back_to_packet_and_matches():
+    """On a lossy WAN the flow fluidizes in step tier, and the first
+    positive loss draw hands the round back to the packet path with the
+    draw already consumed — the RNG stream, and everything downstream,
+    stays identical to the pure packet run."""
+    packet = run_scenario("packet", net_cls=WanVthd, nbytes=16 * MIB, probe=True)
+    hybrid = run_scenario("hybrid", net_cls=WanVthd, nbytes=16 * MIB, probe=True)
+    _assert_equivalent(packet, hybrid)
+    _assert_probe_equivalent(packet, hybrid)
+    fl = hybrid["fluid"]
+    assert fl.fluid_rounds > 0
+    assert "loss-draw" in _reasons(fl)
+    # after the fallback the stability streak rebuilds and the flow
+    # re-fluidizes (16 MiB leaves plenty of rounds)
+    assert fl.activations >= 2
+    # a lossy link never reaches the closed-form tier
+    assert fl.epochs == 0
+    # the packet run saw actual losses, and the hybrid run saw the same ones
+    assert packet["est"].loss.mean() > 0.0
+
+
+# ---------------------------------------------------------------------------
+# fallback: link churn mid-epoch (satellite 3b)
+# ---------------------------------------------------------------------------
+
+
+def test_mid_epoch_degrade_rolls_back_exactly():
+    """A bandwidth degrade lands mid-epoch: the uncommitted suffix of the
+    plan is unwound and the flow resumes in packet mode at the precise
+    virtual time the packet model would have pumped — completion times
+    stay float-identical, probe estimates unchanged."""
+    degrades = [(0.25, dict(bandwidth=6_000_000.0))]
+    packet = run_scenario(
+        "packet", nbytes=8 * MIB, probe=True, degrades=degrades
+    )
+    hybrid = run_scenario(
+        "hybrid", nbytes=8 * MIB, probe=True, degrades=degrades
+    )
+    _assert_equivalent(packet, hybrid)
+    _assert_probe_equivalent(packet, hybrid)
+    fl = hybrid["fluid"]
+    assert fl.epochs >= 1
+    assert "degrade" in _reasons(fl)
+    # the injector really fired, in both runs
+    assert [e.kind for e in hybrid["injector"].log] == ["degrade-link"]
+    assert [e.kind for e in packet["injector"].log] == ["degrade-link"]
+    # after the fallback the flow re-fluidizes under the new parameters
+    assert fl.activations >= 2
+
+
+def test_latency_degrade_mid_epoch_matches():
+    degrades = [(0.2, dict(latency=5e-3)), (0.45, dict(bandwidth=8_000_000.0))]
+    packet = run_scenario("packet", nbytes=8 * MIB, degrades=degrades)
+    hybrid = run_scenario("hybrid", nbytes=8 * MIB, degrades=degrades)
+    _assert_equivalent(packet, hybrid)
+    assert "degrade" in _reasons(hybrid["fluid"])
+
+
+# ---------------------------------------------------------------------------
+# fallback: contention change on a shared link (satellite 3c)
+# ---------------------------------------------------------------------------
+
+
+def test_second_flow_join_defluidizes_and_matches():
+    """A second sender appearing on the same NIC changes the rate share:
+    the fluidized flow must fall back (rolling back its epoch), contend in
+    packet mode, and re-fluidize once the competitor drains — with byte
+    counts and completion times exactly equal to the pure packet run for
+    *both* flows."""
+    packet = run_scenario("packet", nbytes=8 * MIB, second=(0.2, 1 * MIB))
+    hybrid = run_scenario("hybrid", nbytes=8 * MIB, second=(0.2, 1 * MIB))
+    _assert_equivalent(packet, hybrid)
+    assert hybrid["ok2"] and packet["ok2"]
+    assert hybrid["t2"] == packet["t2"]
+    assert hybrid["conn2"].bytes_sent == packet["conn2"].bytes_sent
+    reasons = _reasons(hybrid["fluid"])
+    assert "flow-join" in reasons
+    assert "flow-leave" in reasons
+    # while the second flow is active the first is not the sole sender, so
+    # the ledger must have seen two senders on host a at some point
+    ledger = hybrid["net"].fluid_ledger
+    assert isinstance(ledger, LinkRateLedger)
+    # flows drained: contention registry is empty again
+    assert ledger.senders_on(hybrid["conn"].host) == 0
+
+
+def test_mid_epoch_handshake_contention_matches():
+    """A connection *handshaking* mid-epoch is foreign traffic on the
+    NIC: its SYN's reservation must unwind the epoch's planned-future
+    slots, or the handshake would queue behind the whole remaining
+    transfer instead of behind the in-flight burst."""
+    packet = run_scenario(
+        "packet", nbytes=8 * MIB, second=(0.2, 1 * MIB), second_connect="late"
+    )
+    hybrid = run_scenario(
+        "hybrid", nbytes=8 * MIB, second=(0.2, 1 * MIB), second_connect="late"
+    )
+    _assert_equivalent(packet, hybrid)
+    assert hybrid["ok2"] and packet["ok2"]
+    assert hybrid["t2"] == packet["t2"]
+    assert "nic-contention" in _reasons(hybrid["fluid"])
+
+
+# ---------------------------------------------------------------------------
+# fallback: receiver-window pressure
+# ---------------------------------------------------------------------------
+
+
+def test_rx_pressure_falls_back_to_packet():
+    """A receiver that stops reading piles bytes into its rx buffer; once
+    it exceeds the policy's pressure limit the flow must drop back to
+    packet mode (the packet model has no flow control, so delivered bytes
+    and send-completion times stay exactly equal regardless)."""
+    sends = (2 * MIB, 3 * MIB, 1 * MIB)
+
+    def run(fidelity):
+        sim = Simulator()
+        net = Ethernet100(sim)
+        a, b = Host(sim, "a"), Host(sim, "b")
+        net.connect(a)
+        net.connect(b)
+        if fidelity == "hybrid":
+            # limit = 16 receive windows = 4 MiB of unread backlog
+            sa = TcpStack(a, fluid_policy=FluidPolicy(rx_pressure_windows=16))
+        else:
+            sa = TcpStack(a, fidelity=fidelity)
+        sb = TcpStack(b, fidelity=fidelity)
+        listener = sb.listen(PORT)
+        out = {"times": []}
+
+        def client():
+            conn = yield sa.connect(b, PORT)
+            out["conn"] = conn
+            for n in sends:
+                yield conn.send(b"x" * n)
+                out["times"].append(sim.now)
+                yield sim.timeout(1.0)
+
+        def server():
+            conn = yield listener.accept()
+            out["peer"] = conn
+            # accept and never read a byte
+
+        sim.process(client())
+        sim.process(server())
+        sim.run(max_time=600.0)
+        return out
+
+    packet, hybrid = run("packet"), run("hybrid")
+    fl = hybrid["conn"]._fluid
+    # the flow fluidized while the backlog was under the limit, then the
+    # eligibility check caught the stuck reader
+    assert fl.activations >= 1
+    assert "conditions-changed" in _reasons(fl)
+    assert not fl.active
+    assert hybrid["times"] == packet["times"]
+    assert hybrid["peer"].available() == packet["peer"].available() == sum(sends)
+    assert hybrid["conn"].bytes_sent == packet["conn"].bytes_sent
+
+
+# ---------------------------------------------------------------------------
+# partition boundary: cross-shard flows never fluidize
+# ---------------------------------------------------------------------------
+
+
+def test_cross_partition_flow_stays_packet():
+    sim = Simulator(partitions=2)
+    wan = WanVthd(sim, "wan-fluid")
+    a, b = Host(sim, "a"), Host(sim, "b")
+    b.partition = 1
+    wan.connect(a)
+    wan.connect(b)
+    sa = TcpStack(a, fidelity="hybrid")
+    sb = TcpStack(b, fidelity="hybrid")
+    listener = sb.listen(PORT)
+    out = {}
+    nbytes = 2 * MIB
+
+    def client():
+        conn = yield sa.connect(b, PORT)
+        out["conn"] = conn
+        yield conn.send(b"x" * nbytes)
+
+    def server():
+        conn = yield listener.accept()
+        data = yield conn.recv_exact(nbytes)
+        out["ok"] = data == b"x" * nbytes
+
+    with sim.in_partition(0):
+        sim.process(client())
+    with sim.in_partition(1):
+        sim.process(server())
+    sim.run(max_time=600.0)
+    assert out["ok"]
+    fl = out["conn"]._fluid
+    assert fl.activations == 0
+    assert fl.fluid_rounds == 0
+
+
+# ---------------------------------------------------------------------------
+# ledger unit coverage
+# ---------------------------------------------------------------------------
+
+
+class _StubController:
+    def __init__(self, conn):
+        self.conn = conn
+        self.invalidated = []
+
+    def invalidate(self, reason):
+        self.invalidated.append(reason)
+
+
+class _StubConn:
+    def __init__(self, host):
+        self.host = host
+
+
+def _stub_conn(host):
+    return _StubConn(host)
+
+
+def test_ledger_membership_and_fair_share():
+    sim = Simulator()
+    net = Ethernet100(sim)
+    a, b = Host(sim, "a"), Host(sim, "b")
+    net.connect(a)
+    net.connect(b)
+    ledger = ledger_for(net)
+    assert ledger is net.fluid_ledger
+    assert ledger_for(net) is ledger  # lazily created once
+
+    c1, c2, c3 = _stub_conn(a), _stub_conn(a), _stub_conn(b)
+    ledger.join(c1)
+    assert ledger.sole_sender(c1)
+    assert ledger.fair_share(c1) == net.bandwidth
+    ledger.join(c2)
+    assert not ledger.sole_sender(c1)
+    assert ledger.senders_on(a) == 2
+    assert ledger.fair_share(c1) == net.bandwidth / 2
+    # a sender on the *other* host does not contend with c1's NIC
+    ledger.join(c3)
+    assert ledger.senders_on(a) == 2
+    assert ledger.sole_sender(c3)
+    ledger.leave(c2)
+    assert ledger.sole_sender(c1)
+    ledger.leave(c1)
+    ledger.leave(c3)
+    assert ledger.senders_on(a) == 0
+    assert ledger.senders_on(b) == 0
+    # idempotent: leaving twice or before joining is a no-op
+    ledger.leave(c1)
+
+
+def test_ledger_notifies_same_nic_flows_only():
+    sim = Simulator()
+    net = Ethernet100(sim)
+    a, b = Host(sim, "a"), Host(sim, "b")
+    net.connect(a)
+    net.connect(b)
+    ledger = ledger_for(net)
+    ca, cb = _stub_conn(a), _stub_conn(b)
+    fa, fb = _StubController(ca), _StubController(cb)
+    ledger.join(ca)
+    ledger.join(cb)
+    ledger.register_fluid(fa)
+    ledger.register_fluid(fb)
+    # a new sender on host a invalidates only the fluid flow sharing a's NIC
+    ledger.join(_stub_conn(a))
+    assert fa.invalidated == ["flow-join"]
+    assert fb.invalidated == []
+    # a full-link invalidation (churn) hits everyone
+    net.invalidate_fluid("degrade")
+    assert fa.invalidated[-1] == "degrade"
+    assert fb.invalidated == ["degrade"]
+    assert ledger.fluid_count() == 2
+
+
+# ---------------------------------------------------------------------------
+# batched estimator updates (the probe-side half of the fidelity contract)
+# ---------------------------------------------------------------------------
+
+
+def test_sliding_window_batch_update_is_bit_exact():
+    seq = SlidingWindowEstimator(window=32)
+    bat = SlidingWindowEstimator(window=32)
+    for v, n in [(0.0, 5), (0.25, 1), (0.0, 40), (0.1, 3)]:
+        for _ in range(n):
+            seq.update(v)
+        bat.update_many(v, n)
+    assert bat.samples == seq.samples
+    assert bat.mean() == seq.mean()
+    assert list(bat._values) == list(seq._values)
+
+
+def test_ewma_batch_update_matches_sequential():
+    seq = EwmaEstimator(alpha=0.25)
+    bat = EwmaEstimator(alpha=0.25)
+    for v, n in [(10.0, 1), (12.0, 7), (9.0, 32), (12.5, 2)]:
+        for _ in range(n):
+            seq.update(v)
+        bat.update_many(v, n)
+    assert bat.samples == seq.samples
+    assert bat.value == pytest.approx(seq.value, rel=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# analytics + knobs
+# ---------------------------------------------------------------------------
+
+
+def test_steady_state_rate_closed_form():
+    sim = Simulator()
+    net = Ethernet100(sim)
+    rwnd = 256 * 1024
+    rate = steady_state_rate(net, 10**9, rwnd)
+    # serialization-bound on a 100 Mb LAN: rate = window / ser(window)
+    assert rate == pytest.approx(rwnd / net.serialization_time(rwnd))
+    # two flows sharing the NIC halve the serialization-bound rate
+    assert steady_state_rate(net, 10**9, rwnd, nflows=2) == pytest.approx(rate / 2)
+    # tiny windows are latency-bound instead
+    small = steady_state_rate(net, 1024, rwnd)
+    assert small == pytest.approx(1024 / (2 * net.latency))
+    assert steady_state_rate(net, 0, rwnd) == 0.0
+
+
+def test_fidelity_knob_validation():
+    sim = Simulator()
+    net = Ethernet100(sim)
+    a = Host(sim, "a")
+    net.connect(a)
+    with pytest.raises(ValueError):
+        TcpStack(a, fidelity="bogus")
+    stack = TcpStack(a, fluid_policy=FluidPolicy(stable_rounds=4))
+    assert stack.fidelity == "hybrid"
+    assert stack.fluid_policy.stable_rounds == 4
+    assert TcpStack(Host(sim, "b")).fluid_policy is None
+
+
+def test_framework_fidelity_knob_reaches_stacks():
+    with pytest.raises(FrameworkError):
+        PadicoFramework(fidelity="fluid-only")
+    fw = PadicoFramework(fidelity="hybrid")
+    fw.add_host("a")
+    fw.add_network(Ethernet100(fw.sim)).connect(fw.host("a"))
+    node = fw.boot(["a"])[0]
+    assert node.tcp.fidelity == "hybrid"
+    fw2 = PadicoFramework()
+    assert fw2.fidelity == "packet"

@@ -510,3 +510,103 @@ def test_partitioned_framework_with_thread_executor_delivers():
     got, _t, fw = _grid_transfer(2, executor="thread")
     assert got == 192 * 1024
     assert fw.sim.mailbox_deliveries > 0
+
+
+# ---------------------------------------------------------------------------
+# barrier-synchronized churn on boundary links
+# ---------------------------------------------------------------------------
+
+
+def _boundary_churn_scenario(period=2e-4, horizon=0.24):
+    """Two partitions joined by a WAN with dense cross-boundary traffic.
+
+    Returns (sim, wan, hosts, got, nsent): ``tick`` events in partition 0
+    transmit small frames to partition 1 every ``period`` seconds.
+    """
+    from repro.simnet.host import Host
+
+    sim = Simulator(partitions=2)
+    wan = WanVthd(sim, "wan-churn")
+    a, b = Host(sim, "a"), Host(sim, "b")
+    b.partition = 1
+    wan.connect(a)
+    wan.connect(b)
+    got = []
+    wan.nic_of(b).set_receive_handler(lambda d: got.append(sim.now), owner="test")
+
+    def tick():
+        wan.transmit(a, b, b"\x00" * 256)
+
+    nsent = int(horizon / period)
+    for i in range(nsent):
+        sim.call_at_partition(0, i * period, tick)
+    return sim, wan, (a, b), got, nsent
+
+
+def test_mid_window_boundary_latency_drop_is_a_violation():
+    """The hazard the barrier hook exists for: mutating a boundary link's
+    latency below the in-flight window width, mid-window, makes later
+    same-window sends land inside the horizon."""
+    sim, wan, _hosts, _got, _n = _boundary_churn_scenario()
+
+    def mutate(lat):
+        wan.latency = lat
+
+    # pre-fix routing: the owning partition's loop, exact fault time
+    sim.call_at_partition(wan.owning_partition(), 0.05, mutate, 2e-3)
+    with pytest.raises(LookaheadViolation):
+        sim.run(until=0.25)
+
+
+def test_seeded_boundary_degrade_churn_applies_at_window_edge():
+    """Regression (fluid-fast-path PR): FaultInjector churn on a boundary
+    link rides a barrier-synchronized hook — each degrade applies at the
+    next window edge, the following window is sized from the already-
+    degraded latency, and no cross-partition send ever violates the
+    lookahead contract, even when latency drops far below the old window."""
+    from repro.abstraction.topology import TopologyKB
+    from repro.monitoring.churn import FaultInjector
+
+    sim, wan, _hosts, got, nsent = _boundary_churn_scenario()
+    inj = FaultInjector(sim, TopologyKB(), seed=31, announce=False)
+    # seeded degrade times; each drop cuts latency below the prior window
+    times = sorted(0.02 + inj.rng.random() * 0.15 for _ in range(3))
+    lat = wan.latency
+    for t in times:
+        lat /= 20.0
+        inj.degrade_link_at(t, wan, latency=lat)
+
+    sim.run(until=0.25)  # must not raise
+    assert wan.latency == lat
+    assert sim.effective_lookahead() == lat
+    assert [e.kind for e in inj.log] == ["degrade-link"] * 3
+    # hooks fire at window edges, never before their scheduled time
+    assert [e.at for e in inj.log] == sorted(e.at for e in inj.log)
+    for sched, e in zip(times, inj.log):
+        assert e.at >= sched
+    # nothing was lost to the churn: every frame sent before the horizon
+    # arrived (transmit is reliable; only the latency changed)
+    assert len(got) == nsent
+    assert got == sorted(got)
+
+
+def test_call_at_barrier_runs_between_windows():
+    sim = Simulator(partitions=2)
+    ran = []
+    sim.call_at_partition(0, 0.005, lambda: ran.append(("p0", sim.now)))
+    sim.call_at_barrier(0.0012, lambda: ran.append(("hook", sim.now)))
+    assert sim.pending_count() == 2  # hooks count as pending work
+    sim.run()
+    kinds = [k for k, _t in ran]
+    assert kinds == ["hook", "p0"]
+    hook_at = dict(ran)["hook"]
+    assert hook_at >= 0.0012  # never early: applied at the next window edge
+
+
+def test_call_at_barrier_single_loop_is_plain_call_at():
+    sim = Simulator()
+    ran = []
+    assert sim.is_boundary(object()) is False
+    sim.call_at_barrier(0.5, lambda: ran.append(sim.now))
+    sim.run()
+    assert ran == [0.5]

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Profile the engine-scale benchmark scenarios and report hot spots.
+
+Runs one deployment scenario (packet fidelity via the classic VLink
+workload, or the fluid bulk-stream workload at either fidelity) under
+:mod:`cProfile` and prints the top functions by cumulative time.  The
+``--json`` flag writes a machine-readable artifact so CI can archive a
+nightly profile next to the benchmark numbers and regressions can be
+diffed function-by-function instead of re-measured from scratch.
+
+Usage::
+
+    python tools/profile_hotspots.py --size medium --fidelity hybrid
+    python tools/profile_hotspots.py --size large --fidelity packet \
+        --workload fluid --top 40 --json profile.json
+
+The tool lives outside pytest on purpose: profiling overhead would
+poison the recorded baselines, so the benchmark suite measures clean
+walls and this script owns the instrumented runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import json
+import pstats
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "benchmarks"))
+
+
+def _run(size: str, workload: str, fidelity: str) -> dict:
+    import test_engine_scale as bench
+
+    if workload == "deployment":
+        import os
+
+        os.environ["ENGINE_FIDELITY"] = fidelity
+        return bench.run_scenario(size)
+    result, _finish_times = bench.run_fluid_scenario(size, fidelity)
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--size", default="medium", choices=["small", "medium", "large"])
+    parser.add_argument(
+        "--workload",
+        default="fluid",
+        choices=["deployment", "fluid"],
+        help="deployment = chunked VLink streams + churn; fluid = bulk TCP streams",
+    )
+    parser.add_argument("--fidelity", default="hybrid", choices=["packet", "hybrid"])
+    parser.add_argument("--top", type=int, default=30, help="functions to print")
+    parser.add_argument(
+        "--sort", default="cumulative", choices=["cumulative", "tottime", "ncalls"]
+    )
+    parser.add_argument("--json", metavar="PATH", help="write a JSON artifact here")
+    args = parser.parse_args(argv)
+
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    result = _run(args.size, args.workload, args.fidelity)
+    profiler.disable()
+    wall = time.perf_counter() - start
+
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort)
+    text = io.StringIO()
+    stats.stream = text
+    stats.print_stats(args.top)
+    print(text.getvalue())
+
+    if args.json:
+        rows = []
+        for (filename, lineno, funcname), (cc, nc, tt, ct, _callers) in sorted(
+            stats.stats.items(), key=lambda item: item[1][3], reverse=True
+        )[: args.top]:
+            try:
+                filename = str(Path(filename).resolve().relative_to(REPO))
+            except ValueError:
+                pass
+            rows.append(
+                {
+                    "function": funcname,
+                    "file": filename,
+                    "line": lineno,
+                    "ncalls": nc,
+                    "primitive_calls": cc,
+                    "tottime_s": round(tt, 6),
+                    "cumtime_s": round(ct, 6),
+                }
+            )
+        artifact = {
+            "size": args.size,
+            "workload": args.workload,
+            "fidelity": args.fidelity,
+            "profiled_wall_s": round(wall, 3),
+            "sort": args.sort,
+            "result": result,
+            "hotspots": rows,
+        }
+        Path(args.json).write_text(json.dumps(artifact, indent=1) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
