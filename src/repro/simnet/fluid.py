@@ -213,6 +213,7 @@ class _Epoch:
         "deliver_handle",
         "pump_handle",
         "final_tx_free",
+        "observed",
         "t0",
         "tx_free0",
         "rx_ready0",
@@ -221,8 +222,8 @@ class _Epoch:
     )
 
     def __init__(self, runs, parts, nbytes, completions, deliver_handle,
-                 pump_handle, final_tx_free, t0, tx_free0, rx_ready0,
-                 rtt, latency):
+                 pump_handle, final_tx_free, observed, t0, tx_free0,
+                 rx_ready0, rtt, latency):
         #: run-length encoded plan: (count, nbytes, ser, rc, npkts) per run
         self.runs: List[tuple] = runs
         #: zero-copy views into the queued send buffers, in wire order; the
@@ -237,6 +238,10 @@ class _Epoch:
         self.deliver_handle = deliver_handle
         self.pump_handle = pump_handle
         self.final_tx_free = final_tx_free
+        #: whether the plan accumulated synthesized observations (observers
+        #: were attached at planning time) — a rollback must only rewind the
+        #: observation counters when it did, or they go negative.
+        self.observed = observed
         #: recurrence state at planning time, for bit-exact replay; rtt and
         #: latency are snapshotted because a rollback is usually *caused by*
         #: a parameter change, and the replay must use the planned values.
@@ -437,14 +442,15 @@ class FluidController:
         peer_nic.rx_bytes += attempted
 
         # receive-side kernel crossing + copy, accumulated in the same float
-        # order as Delivery.cost (0.0 + syscall + copy)
+        # order as Delivery.cost (0.0 + syscall + copy).  The readiness clamp
+        # runs at *arrival* time (via _step_deliver), not now: the packet
+        # path orders deliveries by updating _last_rx_ready when each frame
+        # is processed at the peer, and a frame sent by a packet-mode round
+        # can still be in flight at this pump — clamping the watermark early
+        # would push that frame's bytes behind this round's.
         cpu = peer.host.cpu
         rc = cpu.syscall_overhead + attempted / cpu.memcpy_bandwidth
-        ready = arrival + rc
-        if ready < peer._last_rx_ready:
-            ready = peer._last_rx_ready
-        peer._last_rx_ready = ready
-        sim.call_at(ready, peer._append_rx, payload)
+        sim.call_at(arrival, self._step_deliver, peer, payload, rc)
 
         for done, total in finishing:
             if done is None or done.triggered:
@@ -565,13 +571,20 @@ class FluidController:
             if ready < rx_ready:
                 ready = rx_ready
             rx_ready = ready
+            end_off = consumed
             consumed += attempted
             nrounds += 1
             runs.append((1, attempted, ser, rc, npkts))
-            for done, total in finishing:
+            for idx, (done, total) in enumerate(finishing):
                 # a send completes at the arrival of the round carrying
-                # its last byte — this one
-                completions.append([consumed, done, total, None, arrival])
+                # its last byte — this one.  finishing[i] pairs with
+                # parts[i] (the gather only ever leaves its *last* part's
+                # entry unfinished), so each send records its own end
+                # offset: two sends completing in the same round must not
+                # share one, or a rollback cutting before this round
+                # cannot split the restored bytes between them.
+                end_off += len(parts[idx])
+                completions.append([end_off, done, total, None, arrival])
             if observed:
                 if self._obs_bursts == 0:
                     self._obs_latency = latency
@@ -608,7 +621,11 @@ class FluidController:
         peer_nic = net.nic_of(conn.peer_host)
         peer_nic.rx_frames += nrounds
         peer_nic.rx_bytes += consumed
-        peer._last_rx_ready = rx_ready
+        # NOTE: peer._last_rx_ready is advanced by _epoch_deliver when the
+        # batched delivery *fires*, not here — a frame sent by a packet-mode
+        # round can still be in flight at planning time, and bumping the
+        # watermark early would clamp that frame's append behind this
+        # epoch's bytes (reordering the peer's byte stream).
 
         for comp in completions:
             done = comp[1]
@@ -619,7 +636,7 @@ class FluidController:
         pump = sim.call_at(t, conn._pump)
         self._epoch = _Epoch(
             runs, parts_all, consumed, completions, deliver, pump,
-            nic.tx_free_at, t0, tx_free0, rx_ready0, rtt, latency,
+            nic.tx_free_at, observed, t0, tx_free0, rx_ready0, rtt, latency,
         )
         # claim the NIC: any competing reserve_tx invalidates this epoch
         # first, so foreign frames never queue behind planned-future rounds
@@ -660,9 +677,33 @@ class FluidController:
         return rounds
 
     @staticmethod
+    def _step_deliver(peer_conn, payload, rc: float) -> None:
+        """Arrival-time half of a step round's delivery.
+
+        Runs at the burst's arrival and applies the same readiness clamp the
+        packet path's ``_on_segment`` applies when a frame is processed —
+        the identical float operations, just evaluated when ``sim.now`` *is*
+        the arrival.  Deferring the clamp to arrival time keeps the peer's
+        ``_last_rx_ready`` watermark updated in stream order even when a
+        packet-mode frame from the round before is still in flight.
+        """
+        if peer_conn.closed:
+            return
+        sim = peer_conn.sim
+        ready = sim.now + rc
+        if ready < peer_conn._last_rx_ready:
+            ready = peer_conn._last_rx_ready
+        peer_conn._last_rx_ready = ready
+        sim.call_at(ready, peer_conn._append_rx, payload)
+
+    @staticmethod
     def _epoch_deliver(peer_conn, parts: List[memoryview]) -> None:
         if peer_conn.closed:
             return
+        # the watermark advances now, at delivery time (see the planning-side
+        # note): any later delivery must queue behind the whole batch.
+        if peer_conn._last_rx_ready < peer_conn.sim.now:
+            peer_conn._last_rx_ready = peer_conn.sim.now
         peer_conn._append_rx_parts(parts)
 
     @staticmethod
@@ -740,19 +781,20 @@ class FluidController:
         nic.tx_bytes -= undone_bytes
         peer_nic.rx_frames -= undone_rounds
         peer_nic.rx_bytes -= undone_bytes
-        self._obs_bursts -= undone_rounds
-        for rnd in uncommitted:
-            self._obs_npkts -= rnd[R_NPKTS]
-            self._obs_nbytes -= rnd[R_NBYTES]
+        if epoch.observed:
+            self._obs_bursts -= undone_rounds
+            for rnd in uncommitted:
+                self._obs_npkts -= rnd[R_NPKTS]
+                self._obs_nbytes -= rnd[R_NBYTES]
         # NIC occupancy: release the uncommitted reservations (unless some
         # later transmission already queued behind the epoch).
         if nic.tx_free_at == epoch.final_tx_free:
             nic.rewind_tx(committed[-1][R_END])
 
-        # receive side: replace the batched delivery with the committed prefix
+        # receive side: replace the batched delivery with the committed
+        # prefix (the watermark is advanced by _epoch_deliver when it fires)
         epoch.deliver_handle.cancel()
         ready_c = committed[-1][R_READY]
-        peer._last_rx_ready = ready_c
         sim.call_at(
             max(ready_c, now),
             self._epoch_deliver,
@@ -775,9 +817,15 @@ class FluidController:
                 # a range may straddle gather fragments; the completion event
                 # rides the last restored piece (its final byte).
                 pieces = self._slice_parts(epoch.parts, lo, end_off)
-                for piece in pieces[:-1]:
-                    restored.append([piece, 0, None, 0])
-                restored.append([pieces[-1], 0, done, total])
+                if pieces:
+                    for piece in pieces[:-1]:
+                        restored.append([piece, 0, None, 0])
+                    restored.append([pieces[-1], 0, done, total])
+                else:
+                    # zero bytes to restore (an empty queued send): keep the
+                    # completion alive on an empty entry, as _packet_round's
+                    # lost-burst requeue does.
+                    restored.append([memoryview(b""), 0, done, total])
             start = end_off
         tail_start = epoch.completions[-1][0] if epoch.completions else 0
         if epoch.nbytes > tail_start:

@@ -304,6 +304,110 @@ def test_mid_epoch_handshake_contention_matches():
 
 
 # ---------------------------------------------------------------------------
+# stream-order integrity: distinct payloads, queued sends, mid-epoch churn
+# ---------------------------------------------------------------------------
+
+SEND_SIZES = (1 * MIB, 4096, 4096, 1 * MIB)
+SEND_PAYLOAD = b"".join(bytes([ch]) * n for ch, n in zip(b"abcd", SEND_SIZES))
+
+
+def run_multisend(fidelity, t_inv=None, stable_rounds=2, probe=False):
+    """Queue four sends with *distinct* contents back-to-back (no awaiting
+    between them), so multiple queue entries can complete inside a single
+    planned round, and optionally force a fluid invalidation at ``t_inv``.
+
+    Unlike :func:`run_scenario`'s uniform payloads, distinct bytes make any
+    reordering of the delivered stream visible.
+    """
+    sim = Simulator()
+    net = Ethernet100(sim)
+    a, b = Host(sim, "a"), Host(sim, "b")
+    net.connect(a)
+    net.connect(b)
+    if fidelity == "hybrid":
+        sa = TcpStack(a, fluid_policy=FluidPolicy(stable_rounds=stable_rounds))
+    else:
+        sa = TcpStack(a, fidelity=fidelity)
+    sb = TcpStack(b, fidelity=fidelity)
+    out = {"done": []}
+    if probe:
+        out["est"] = est = LinkEstimator()
+        out["probe"] = PassiveLinkProbe(net, est.update)
+    listener = sb.listen(PORT)
+
+    def client():
+        conn = yield sa.connect(b, PORT)
+        out["conn"] = conn
+        for i, (ch, n) in enumerate(zip(b"abcd", SEND_SIZES)):
+            ev = conn.send(bytes([ch]) * n)
+            ev.add_callback(lambda _ev, i=i: out["done"].append((i, sim.now)))
+
+    def server():
+        conn = yield listener.accept()
+        data = yield conn.recv_exact(len(SEND_PAYLOAD))
+        out["t1"] = sim.now
+        out["data"] = bytes(data)
+
+    sim.process(client())
+    sim.process(server())
+    if t_inv is not None:
+        sim.call_at(t_inv, net.invalidate_fluid, "test-churn")
+    sim.run(max_time=600.0)
+    return out
+
+
+def test_hybrid_preserves_byte_order_across_handoff():
+    """Distinct-content sends must arrive in exact stream order.  The fluid
+    tiers defer the receive-readiness clamp to arrival time, so a packet-
+    mode frame still in flight at the packet->fluid handoff keeps its place
+    ahead of the fluid bytes that follow it (an early watermark bump used
+    to push the in-flight frame's bytes behind the whole fluid batch)."""
+    packet = run_multisend("packet", stable_rounds=8)
+    hybrid = run_multisend("hybrid", stable_rounds=8)
+    assert hybrid["data"] == SEND_PAYLOAD
+    assert packet["data"] == SEND_PAYLOAD
+    assert hybrid["t1"] == packet["t1"]
+    assert hybrid["done"] == packet["done"]
+    assert hybrid["conn"]._fluid.epochs >= 1
+
+
+def test_rollback_splits_sends_completing_in_same_round():
+    """Churn cutting an epoch before a round in which *two* queued sends
+    complete together: the rollback must attribute each send its own byte
+    end offset (a shared per-round offset used to raise IndexError on the
+    second completion and reorder the restored bytes)."""
+    # 0.044s lands inside the first epoch, before the planned round that
+    # finishes both 4 KiB sends (the 1 MiB entry ahead of them keeps that
+    # round in the plan's uncommitted suffix).
+    packet = run_multisend("packet", t_inv=0.044, probe=True)
+    hybrid = run_multisend("hybrid", t_inv=0.044, probe=True)
+    assert hybrid["data"] == SEND_PAYLOAD
+    assert packet["data"] == SEND_PAYLOAD
+    assert hybrid["t1"] == packet["t1"]
+    assert hybrid["done"] == packet["done"]
+    _assert_probe_equivalent(packet, hybrid)
+    fl = hybrid["conn"]._fluid
+    assert "test-churn" in _reasons(fl)
+    # the epoch hit by the invalidation rolled back, and the flow
+    # re-fluidized into a fresh epoch afterwards
+    assert fl.epochs >= 2
+
+
+def test_unobserved_epoch_rollback_keeps_obs_counters_clean():
+    """With no passive observers attached, an epoch accumulates no
+    synthesized observations — its rollback must not rewind the counters
+    anyway (they went negative, and a probe attaching before the next
+    flush would have received a negative-weight tcp-burst sample)."""
+    hybrid = run_multisend("hybrid", t_inv=0.044)
+    fl = hybrid["conn"]._fluid
+    assert "test-churn" in _reasons(fl)
+    assert fl.epochs >= 2
+    assert fl._obs_bursts == 0
+    assert fl._obs_npkts == 0
+    assert fl._obs_nbytes == 0
+
+
+# ---------------------------------------------------------------------------
 # fallback: receiver-window pressure
 # ---------------------------------------------------------------------------
 
