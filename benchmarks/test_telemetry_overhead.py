@@ -1,0 +1,147 @@
+"""Telemetry overhead: the disabled flight recorder must cost nothing.
+
+The observability acceptance of the telemetry PR, measured on the
+engine-scale deployment scenario (``test_engine_scale.run_scenario``):
+
+* **Disabled** (the default state: every ``telemetry`` attribute is
+  ``None``) — the instrumented code pays one attribute check per hot-path
+  site.  Measured as a paired, interleaved comparison against runs where a
+  hub was created and then detached before the measured window (the exact
+  same disabled hot path plus the enable/disable bookkeeping): the wall
+  ratio is gated at < 2%.  Interleaving A/B/A/B after a warmup round and
+  taking per-side minima (the classic noise-robust wall estimator)
+  cancels the machine drift that poisons back-to-back pairs.
+* **Enabled** (in-memory recording, no JSONL file) — measured against the
+  plain run, reported, and recorded under the ``deployment_telemetry``
+  kind in ``BENCH_engine.json`` (with ``BENCH_REFRESH=1``), so the
+  recording cost is a tracked number instead of folklore.  Enabled-mode
+  cost is not hard-gated: it scales with the scenario's event density and
+  is a recorded trade-off, not a regression.
+
+``ENGINE_SCALE`` selects the deployment size (default ``small`` — this
+file rides the CI smoke job; the gate is meaningful at every size).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import test_engine_scale as engine_bench
+
+#: disabled-mode acceptance: < 2% wall-time overhead.
+DISABLED_OVERHEAD_LIMIT = 1.02
+#: paired rounds per side; medians of interleaved runs.
+ROUNDS = 3
+
+
+def _size() -> str:
+    forced = os.environ.get("ENGINE_SCALE", "").strip()
+    return forced if forced else "small"
+
+
+def _timed_run(size: str, telemetry: str) -> tuple:
+    """One deployment run; returns (wall_s, result-ish dict).
+
+    ``telemetry``: "off" = never enabled; "disabled" = enabled then
+    detached before the measured window; "on" = recording in memory.
+    """
+    fw, grid, completions = engine_bench.build_scenario(size)
+    hub = None
+    if telemetry in ("disabled", "on"):
+        hub = fw.enable_telemetry()
+    if telemetry == "disabled":
+        fw.disable_telemetry()
+    all_done = fw.sim.all_of(completions)
+    with engine_bench._gc_paused():
+        start = time.perf_counter()
+        delivered = fw.sim.run(until=all_done, max_time=engine_bench.MAX_VIRTUAL)
+        fw.sim.run(
+            until=max(engine_bench.CHURN_HORIZON, fw.sim.now),
+            max_time=engine_bench.MAX_VIRTUAL,
+        )
+        wall_s = time.perf_counter() - start
+    if telemetry == "on":
+        hub.flush()
+    expected = len(completions) * engine_bench.TRANSFER_BYTES
+    assert sum(delivered) == expected
+    stats = fw.sim.stats()
+    return wall_s, {
+        "hosts": len(grid.hosts),
+        "streams": len(completions),
+        "bytes_delivered": sum(delivered),
+        "events": stats.events_processed,
+        "telemetry_events": len(hub.events) if hub is not None else 0,
+    }
+
+
+def test_disabled_telemetry_overhead_under_two_percent(benchmark, once):
+    """A deployment that enabled and detached the recorder must run within
+    2% of one that never touched it — the disabled state is one attribute
+    check per instrumented site, nothing more."""
+    size = _size()
+
+    def measure():
+        _timed_run(size, "off")  # warmup: allocator and import costs
+        plain, disabled = [], []
+        for _ in range(ROUNDS):
+            wall, info = _timed_run(size, "off")
+            plain.append(wall)
+            wall, _info = _timed_run(size, "disabled")
+            disabled.append(wall)
+        return {
+            "plain_wall_s": round(min(plain), 4),
+            "disabled_wall_s": round(min(disabled), 4),
+            "ratio": round(min(disabled) / min(plain), 4),
+            **info,
+        }
+
+    result = once(benchmark, measure)
+    benchmark.extra_info.update(result)
+    ratio = result["ratio"]
+    if ratio > DISABLED_OVERHEAD_LIMIT:
+        # one retry: a single paired measurement on shared hardware can
+        # blow a 2% margin on scheduler noise alone
+        result = measure()
+        benchmark.extra_info["ratio_first_attempt"] = ratio
+        benchmark.extra_info.update(result)
+        ratio = result["ratio"]
+    assert ratio <= DISABLED_OVERHEAD_LIMIT, (
+        f"disabled telemetry costs {100 * (ratio - 1):.1f}% wall time on the "
+        f"{size!r} deployment (limit {100 * (DISABLED_OVERHEAD_LIMIT - 1):.0f}%)"
+    )
+
+
+def test_enabled_telemetry_overhead_recorded(benchmark, once):
+    """Enabled-mode recording cost: measured, reported, and written to
+    BENCH_engine.json under ``deployment_telemetry`` (BENCH_REFRESH=1)."""
+    size = _size()
+
+    def measure():
+        _timed_run(size, "off")  # warmup
+        plain, enabled = [], []
+        info = {}
+        for _ in range(ROUNDS):
+            wall, _i = _timed_run(size, "off")
+            plain.append(wall)
+            wall, info = _timed_run(size, "on")
+            enabled.append(wall)
+        plain_med = min(plain)
+        on_med = min(enabled)
+        return {
+            **info,
+            "wall_s": round(on_med, 4),
+            "plain_wall_s": round(plain_med, 4),
+            "events_per_sec": round(info["events"] / on_med, 1),
+            "telemetry_overhead_ratio": round(on_med / plain_med, 4),
+        }
+
+    result = once(benchmark, measure)
+    benchmark.extra_info.update(result)
+    assert result["telemetry_events"] > 0
+    # enabled recording on this scenario stays a modest constant factor;
+    # gate only against runaway pathology, record the precise number
+    assert result["telemetry_overhead_ratio"] < 2.0
+    engine_bench.check_baselines(
+        "deployment_telemetry", size, result, benchmark, remeasure=measure
+    )

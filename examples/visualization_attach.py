@@ -9,6 +9,12 @@ Here a 2-node MPI Jacobi-style iteration runs on the Myrinet cluster while a
 "user workstation" attaches over Ethernet through SOAP, polls the progress a
 few times, then disconnects — all without touching the MPI code.
 
+The run is observed through the flight recorder (:mod:`repro.telemetry`):
+``fw.enable_telemetry()`` attaches the hub before boot, and the closing
+summary is computed from the recorded event stream with
+:func:`repro.telemetry.compute_kpis` — the same KPI view
+``tools/kpi_report.py`` renders from an archived JSONL trace.
+
 Run with:  python examples/visualization_attach.py
 """
 
@@ -22,6 +28,7 @@ import numpy as np
 from repro.core import PadicoFramework
 from repro.middleware.mpi import MpiRuntime, SUM
 from repro.middleware.soap import SoapClient, SoapServer
+from repro.telemetry import compute_kpis
 
 
 def main():
@@ -30,6 +37,9 @@ def main():
     workstation = fw.add_host("workstation", site="rennes")
     # the workstation only shares the Ethernet with the cluster
     fw.network("eth-rennes").connect(workstation)
+    # attach the flight recorder: every TCP flow and every frame on the
+    # wire below the middleware shows up in the KPI summary at the end
+    hub = fw.enable_telemetry()
     fw.boot()
 
     comms = [MpiRuntime(fw.node(h.name), cluster).comm_world for h in cluster]
@@ -77,6 +87,16 @@ def main():
     print("MPI ran over:", fw.node('node0').circuits.circuit('vmad:mpi').route_for(1).method,
           "— monitoring ran over SOAP/Ethernet, concurrently, "
           "with no change to either middleware")
+
+    # what the flight recorder saw, without instrumenting any middleware
+    hub.flush()
+    kpis = compute_kpis(hub.events, horizon=fw.sim.now)
+    print(f"\nflight recorder: {kpis['events_total']} events")
+    for net, rec in sorted(kpis["links"].items()):
+        print(f"  {net:<14} {rec['frames']:>5} frames  {rec['bytes']:>9} B  "
+              f"utilization {rec['utilization'] * 100:5.2f}%")
+    fs = kpis["flow_summary"]
+    print(f"  {fs['count']} TCP flows, {fs['completed']} with completed sends")
 
 
 if __name__ == "__main__":

@@ -546,6 +546,14 @@ class AdaptiveVLink:
         self.migrations += 1
         self.last_migration_at = self.sim.now
         self.last_migration_error = None
+        tele = self.manager.telemetry
+        if tele is not None:
+            tele.emit(
+                "route.migrate",
+                session=f"{self.session_id:#x}",
+                peer=self.peer_name,
+                migrations=self.migrations,
+            )
         self._attach_rail(rail, peer_delivered)
         self._send_ack()
         if self._remigrate:

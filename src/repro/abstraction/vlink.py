@@ -250,6 +250,8 @@ class VLinkManager:
         self.host = host
         self.sim = host.sim
         self.selector = selector
+        # flight-recorder hook (wired by PadicoFramework.enable_telemetry)
+        self.telemetry = None
         self._drivers: Dict[str, "VLinkDriver"] = {}
         self._listeners: Dict[int, VLinkListener] = {}
         self._links: List[VLink] = []
@@ -577,6 +579,12 @@ class VLinkManager:
                     # recently migrated and the current route still works:
                     # hold the route (flap damping) and re-evaluate when the
                     # dwell expires.
+                    if self.telemetry is not None:
+                        self.telemetry.emit(
+                            "route.dwell_veto",
+                            session=f"{link.session_id:#x}",
+                            peer=link.peer_name,
+                        )
                     self._defer_reroute(link)
                     continue
                 link.migrate(reason=f"topology change: {route.describe()}")

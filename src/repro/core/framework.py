@@ -41,6 +41,7 @@ from repro.abstraction import (
 from repro.abstraction.common import AbstractionError
 from repro.abstraction.topology import WAN_LATENCY_THRESHOLD
 from repro.monitoring import FaultInjector, TopologyMonitor
+from repro.telemetry import TelemetryHub
 
 
 class FrameworkError(RuntimeError):
@@ -287,6 +288,67 @@ class PadicoFramework:
         self._nodes: Dict[str, PadicoNode] = {}
         self._networks: Dict[str, Network] = {}
         self._booted = False
+        #: the flight recorder (:mod:`repro.telemetry`): ``None`` until
+        #: :meth:`enable_telemetry` — every instrumented component gates its
+        #: emission on its own ``telemetry`` attribute being non-None, so the
+        #: disabled deployment runs the exact pre-telemetry hot path.
+        self.telemetry: Optional[TelemetryHub] = None
+
+    # -- observability -----------------------------------------------------------------
+    def enable_telemetry(
+        self,
+        *,
+        jsonl_path: Optional[str] = None,
+        engine_window: float = 0.25,
+    ) -> TelemetryHub:
+        """Attach the flight recorder to every instrumented component.
+
+        Creates a :class:`~repro.telemetry.TelemetryHub` (optionally
+        streaming JSONL to ``jsonl_path``), wires it into the simulator,
+        the monitor, every fault injector, every registered network and
+        every booted node's TCP stack and VLink manager.  Components
+        created afterwards (networks added, nodes booted, injectors
+        fetched) are wired on creation.  Idempotent while enabled."""
+        if self.telemetry is not None:
+            return self.telemetry
+        hub = TelemetryHub(self.sim, jsonl_path=jsonl_path, engine_window=engine_window)
+        self.telemetry = hub
+        self.sim.telemetry = hub
+        self.monitoring.telemetry = hub
+        for injector in self._fault_injectors.values():
+            injector.telemetry = hub
+        for network in self._networks.values():
+            hub.observe_network(network)
+        for node in self._nodes.values():
+            self._wire_node_telemetry(node)
+        return hub
+
+    def disable_telemetry(self) -> None:
+        """Detach and close the flight recorder (flushes pending buffers
+        and the JSONL stream).  The recorded events stay readable on the
+        returned hub of :meth:`enable_telemetry`; the deployment reverts to
+        the zero-overhead disabled path."""
+        hub = self.telemetry
+        if hub is None:
+            return
+        hub.release_networks()
+        self.telemetry = None
+        self.sim.telemetry = None
+        self.monitoring.telemetry = None
+        for injector in self._fault_injectors.values():
+            injector.telemetry = None
+        for node in self._nodes.values():
+            if node.tcp is not None:
+                node.tcp.telemetry = None
+            if node.vlink is not None:
+                node.vlink.telemetry = None
+        hub.close()
+
+    def _wire_node_telemetry(self, node: PadicoNode) -> None:
+        if node.tcp is not None:
+            node.tcp.telemetry = self.telemetry
+        if node.vlink is not None:
+            node.vlink.telemetry = self.telemetry
 
     # -- deployment construction ----------------------------------------------------
     def add_network(self, network: Network) -> Network:
@@ -294,6 +356,8 @@ class PadicoFramework:
             raise FrameworkError(f"network name {network.name!r} already used")
         self._networks[network.name] = network
         self.topology.register_network(network)
+        if self.telemetry is not None:
+            self.telemetry.observe_network(network)
         return network
 
     def network(self, name: str) -> Network:
@@ -408,6 +472,8 @@ class PadicoFramework:
                 ctx = contextlib.nullcontext(self.sim)
             with ctx:
                 node.boot()
+            if self.telemetry is not None:
+                self._wire_node_telemetry(node)
             nodes.append(node)
         self._booted = True
         return nodes
@@ -452,6 +518,7 @@ class PadicoFramework:
         injector = self._fault_injectors.get((seed, announce))
         if injector is None:
             injector = FaultInjector(self.sim, self.topology, seed=seed, announce=announce)
+            injector.telemetry = self.telemetry
             self._fault_injectors[(seed, announce)] = injector
         return injector
 

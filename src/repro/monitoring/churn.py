@@ -93,6 +93,8 @@ class FaultInjector:
         self.seed = seed
         self.rng = random.Random(seed)
         self.announce = announce
+        # flight-recorder hook (wired by PadicoFramework.enable_telemetry)
+        self.telemetry = None
         self.log: List[FaultEvent] = []
         self._saved: Dict[Network, _SavedParams] = {}
 
@@ -258,6 +260,8 @@ class FaultInjector:
 
     def _record(self, kind: str, target: str, detail: str = "") -> None:
         self.log.append(FaultEvent(at=self.sim.now, kind=kind, target=target, detail=detail))
+        if self.telemetry is not None:
+            self.telemetry.emit("churn.fault", fault=kind, target=target, detail=detail)
 
     def describe(self) -> Dict[str, object]:
         return {

@@ -143,11 +143,25 @@ class LinkEstimator:
     alpha: float = 0.25
     window: int = 32
     min_samples: int = 4
+    #: coalescing factor: with ``batch > 1``, runs of *identical* successful
+    #: samples (same kind/latency/bandwidth/loss verdict — the shape of
+    #: steady active-probe ticks, which dominate hybrid runs) are buffered
+    #: and folded in via the estimators' closed-form ``update_many`` once
+    #: ``batch`` accumulate, on any differing sample, or on read
+    #: (:meth:`estimate`/:attr:`samples` flush first).  Sample counts match
+    #: the sequential result exactly; EWMA values up to float rounding.
+    #: Loss samples and loss-recovery transitions always apply immediately,
+    #: so failure-detection latency is unchanged.  Default 1: bit-exact
+    #: sequential behaviour.
+    batch: int = 1
     latency: EwmaEstimator = field(init=False)
     bandwidth: EwmaEstimator = field(init=False)
     loss: SlidingWindowEstimator = field(init=False)
     consecutive_lost: int = field(init=False, default=0)
     last_sample_at: float = field(init=False, default=0.0)
+    _run_sample: Optional[LinkSample] = field(init=False, default=None, repr=False)
+    _run_pending: int = field(init=False, default=0, repr=False)
+    _run_last_at: float = field(init=False, default=0.0, repr=False)
 
     def __post_init__(self) -> None:
         self.latency = EwmaEstimator(self.alpha)
@@ -156,9 +170,66 @@ class LinkEstimator:
 
     @property
     def samples(self) -> int:
+        self._flush_run()
         return self.loss.samples
 
-    def update(self, sample: LinkSample) -> None:
+    def update(self, sample: LinkSample) -> bool:
+        """Fold one sample in.
+
+        Returns True when the estimator state advanced (callers re-evaluate
+        their downstream consumers then), False when the sample was merely
+        buffered into a pending coalescing run (``batch > 1``)."""
+        if (
+            self.batch > 1
+            and not sample.lost
+            and sample.bursts == 1
+            and self.consecutive_lost == 0
+        ):
+            run = self._run_sample
+            if (
+                run is not None
+                and sample.kind == run.kind
+                and sample.latency == run.latency
+                and sample.bandwidth == run.bandwidth
+                and sample.loss_fraction == run.loss_fraction
+                and sample.count_loss == run.count_loss
+            ):
+                self._run_pending += 1
+                self._run_last_at = sample.at
+                if self._run_pending >= self.batch:
+                    self._flush_run()
+                    return True
+                return False
+            # run boundary: flush the old run, apply this sample now and
+            # remember it as the new run head
+            self._flush_run()
+            self._run_sample = sample
+            self._apply(sample)
+            return True
+        self._flush_run()
+        self._run_sample = None
+        self._apply(sample)
+        return True
+
+    def _flush_run(self) -> None:
+        """Apply a pending coalesced run in closed form (``update_many``)."""
+        n = self._run_pending
+        if not n:
+            return
+        self._run_pending = 0
+        run = self._run_sample
+        self.last_sample_at = self._run_last_at
+        if run.loss_fraction is not None:
+            self.loss.update_many(run.loss_fraction, n)
+            return
+        if run.count_loss:
+            self.loss.update_many(0.0, n)
+        if run.latency is not None:
+            self.latency.update_many(run.latency, n)
+        if run.bandwidth is not None:
+            self.bandwidth.update_many(run.bandwidth, n)
+
+    def _apply(self, sample: LinkSample) -> None:
         self.last_sample_at = sample.at
         bursts = sample.bursts
         if sample.lost:
@@ -201,6 +272,7 @@ class LinkEstimator:
 
     def estimate(self) -> Optional[MeasuredLink]:
         """The current measured profile, or None until enough samples exist."""
+        self._flush_run()
         if self.samples < self.min_samples:
             return None
         return MeasuredLink(
@@ -216,3 +288,5 @@ class LinkEstimator:
         self.bandwidth.reset()
         self.loss.reset()
         self.consecutive_lost = 0
+        self._run_sample = None
+        self._run_pending = 0

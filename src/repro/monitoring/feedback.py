@@ -45,10 +45,13 @@ class LinkWatch:
         window: int,
         min_samples: int,
         active: bool,
+        coalesce: int = 1,
     ):
         self.monitor = monitor
         self.network = network
-        self.estimator = LinkEstimator(alpha=alpha, window=window, min_samples=min_samples)
+        self.estimator = LinkEstimator(
+            alpha=alpha, window=window, min_samples=min_samples, batch=coalesce
+        )
         self.passive = PassiveLinkProbe(network, self._on_sample)
         self.active: Optional[ActivePingProbe] = None
         if active:
@@ -72,8 +75,12 @@ class LinkWatch:
         self.believed_class = topology.classify_network(network)
 
     def _on_sample(self, sample: LinkSample) -> None:
-        self.estimator.update(sample)
-        self.monitor._evaluate(self)
+        # update() returns False when the sample was coalesced into a
+        # pending run (estimator batch > 1): the estimate cannot have moved,
+        # so the per-sample evaluation — the dominant monitoring cost on
+        # probe-heavy runs — is skipped entirely.
+        if self.estimator.update(sample):
+            self.monitor._evaluate(self)
 
     def stop(self) -> None:
         self.passive.detach()
@@ -102,6 +109,8 @@ class TopologyMonitor:
     ):
         self.topology = topology
         self.sim = sim
+        # flight-recorder hook (wired by PadicoFramework.enable_telemetry)
+        self.telemetry = None
         self.push_threshold = push_threshold
         self.dead_after = dead_after
         self._watches: Dict[Network, LinkWatch] = {}
@@ -121,12 +130,19 @@ class TopologyMonitor:
         window: int = 32,
         min_samples: int = 4,
         active: bool = True,
+        coalesce: int = 1,
     ) -> LinkWatch:
         """Start monitoring ``network``; idempotent per network.
 
         The watch (its active probe's periodic task in particular) runs in
         the event-loop partition that owns the link, so a partitioned kernel
-        keeps probe execution next to the link it measures."""
+        keeps probe execution next to the link it measures.
+
+        ``coalesce > 1`` batches runs of identical probe samples into
+        closed-form estimator updates and skips the per-sample evaluation
+        in between (see :class:`~repro.monitoring.estimators.LinkEstimator`
+        ``batch``) — the probe-tick cost reduction for steady links; loss
+        and changed samples still apply and evaluate immediately."""
         if network in self._watches:
             return self._watches[network]
         with self.sim.in_partition(network.owning_partition()):
@@ -141,6 +157,7 @@ class TopologyMonitor:
                 window=window,
                 min_samples=min_samples,
                 active=active,
+                coalesce=coalesce,
             )
         self._watches[network] = watch
         return watch
@@ -173,11 +190,15 @@ class TopologyMonitor:
                 watch.marked_down = True
                 self.links_marked_down += 1
                 self.topology.mark_link_down(network, detail="probe timeout")
+                if self.telemetry is not None:
+                    self.telemetry.emit("monitor.link_down", net=network.name)
             return
         if watch.marked_down and estimator.consecutive_lost == 0:
             watch.marked_down = False
             self.links_marked_up += 1
             self.topology.mark_link_up(network, detail="probe recovered")
+            if self.telemetry is not None:
+                self.telemetry.emit("monitor.link_up", net=network.name)
         estimate = estimator.estimate()
         if estimate is None:
             return
@@ -242,6 +263,15 @@ class TopologyMonitor:
         watch.pushed = estimate
         watch.believed = estimate
         self.pushes += 1
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "monitor.push",
+                net=network.name,
+                latency=estimate.latency,
+                bandwidth=estimate.bandwidth,
+                loss_rate=estimate.loss_rate,
+                samples=estimate.samples,
+            )
         after = self._classify(estimate, network, watch.believed_class)
         if after is not watch.believed_class:
             self.reclassifications += 1

@@ -481,6 +481,11 @@ class Simulator:
     code can target partitions unconditionally.
     """
 
+    #: flight-recorder hook (:mod:`repro.telemetry`): ``None`` means
+    #: recording is off — instrumented code gates on this one attribute
+    #: check, so the disabled state is exactly the pre-telemetry hot path.
+    telemetry = None
+
     def __new__(cls, *args: Any, **kwargs: Any) -> "Simulator":
         if cls is Simulator:
             partitions = kwargs.get("partitions")

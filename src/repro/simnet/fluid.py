@@ -318,6 +318,9 @@ class FluidController:
             self.active = True
             self.activations += 1
             ledger_for(self.conn.network).register_fluid(self)
+            tele = self.conn.stack.telemetry
+            if tele is not None:
+                tele.emit("fluid.activate", flow=self.conn.flow_id)
 
     # -- eligibility ---------------------------------------------------------
     def _resolve_peer(self):
@@ -364,6 +367,9 @@ class FluidController:
             self.invalidations.append((self.conn.sim.now, reason))
             if self._ledger is not None:
                 self._ledger.unregister_fluid(self)
+            tele = self.conn.stack.telemetry
+            if tele is not None:
+                tele.emit("fluid.invalidate", flow=self.conn.flow_id, reason=reason)
         self._stable = 0
         self._flush_observations()
 
@@ -425,6 +431,21 @@ class FluidController:
         nic = net.nic_of(conn.host)
         begin, end = nic.reserve_tx(sim.now, ser)
         arrival = end + net.latency
+        tele = conn.stack.telemetry
+        if tele is not None:
+            # the link.tx event the packet path's transmit() observer would
+            # have produced for this round's frame — same fields, same floats
+            tele.emit(
+                "link.tx",
+                t=begin,
+                net=net.name,
+                src=conn.host.name,
+                dst=conn.peer_host.name,
+                nbytes=attempted,
+                begin=begin,
+                end=end,
+                qd=begin - sim.now,
+            )
         # views over the (immutable) queued send buffers ride to the peer's
         # receive ring by reference; no per-burst payload is materialised.
         payload = parts[0] if len(parts) == 1 else b"".join(parts)
@@ -458,6 +479,14 @@ class FluidController:
             sim.call_at(arrival, conn._complete_send, done, total)
 
         conn._update_window(0, attempted)
+        if tele is not None:
+            tele.emit(
+                "flow.round",
+                flow=conn.flow_id,
+                nbytes=attempted,
+                lost=0,
+                cwnd=conn.cwnd,
+            )
         if conn._sendq:
             wait = max(conn.rtt, ser)
             slack = nic.tx_free_at - sim.now
@@ -729,8 +758,50 @@ class FluidController:
 
     def _finish_epoch(self) -> None:
         self._release_nic()
-        self._epoch = None
+        epoch, self._epoch = self._epoch, None
+        if epoch is not None:
+            tele = self.conn.stack.telemetry
+            if tele is not None:
+                self._emit_epoch_telemetry(tele, epoch, self._materialize_rounds(epoch))
         self._flush_observations()
+
+    def _emit_epoch_telemetry(self, tele, epoch: _Epoch, rounds: List[tuple]) -> None:
+        """Emit the per-round ``link.tx`` events the packet model's frames
+        would have produced, plus one ``fluid.epoch`` summary.
+
+        Called when an epoch *resolves* (fully commits, or rolls back — then
+        with only the committed prefix), never at planning time: rounds that
+        are later unwound must not reach the trace, and emission times are
+        irrelevant because every event is stamped with its round's planned
+        wire time.  The tuples come from ``_materialize_rounds``, so begins
+        and ends are bit-identical to the packet model's ``reserve_tx``."""
+        conn = self.conn
+        net_name = conn.network.name
+        src = conn.host.name
+        dst = conn.peer_host.name
+        nbytes = 0
+        for rnd in rounds:
+            begin = rnd[R_BEGIN]
+            nbytes += rnd[R_NBYTES]
+            tele.emit(
+                "link.tx",
+                t=begin,
+                net=net_name,
+                src=src,
+                dst=dst,
+                nbytes=rnd[R_NBYTES],
+                begin=begin,
+                end=rnd[R_END],
+                qd=begin - rnd[R_T],
+            )
+        if rounds:
+            tele.emit(
+                "fluid.epoch",
+                t=epoch.t0,
+                flow=conn.flow_id,
+                rounds=len(rounds),
+                nbytes=nbytes,
+            )
 
     def _rollback_epoch(self) -> None:
         """Undo the uncommitted suffix of the current epoch, packet-exactly.
@@ -757,9 +828,12 @@ class FluidController:
                 ncommitted += 1
             else:
                 break
+        tele = conn.stack.telemetry
         if ncommitted == len(rounds):
             # fully committed: the pending deliver/pump events are already
             # exact; nothing to unwind.
+            if tele is not None:
+                self._emit_epoch_telemetry(tele, epoch, rounds)
             return
 
         net = conn.network
@@ -771,6 +845,18 @@ class FluidController:
         cut = sum(rnd[R_NBYTES] for rnd in committed)
         undone_bytes = epoch.nbytes - cut
         undone_rounds = len(uncommitted)
+        if tele is not None:
+            # only the committed prefix reaches the trace — the unwound
+            # suffix re-runs through the packet path, which emits its own
+            # (post-churn) events when those rounds actually happen
+            self._emit_epoch_telemetry(tele, epoch, committed)
+            tele.emit(
+                "fluid.rollback",
+                flow=conn.flow_id,
+                committed=ncommitted,
+                undone=undone_rounds,
+                undone_bytes=undone_bytes,
+            )
 
         # sender-side ledger rewind
         conn.bytes_sent -= undone_bytes

@@ -540,6 +540,11 @@ class PartitionedSimulator(Simulator):
             for shard in self._shards:
                 if shard._now > self._time:
                     self._time = shard._now
+            # window edge: drain per-shard telemetry buffers into the
+            # deterministic merged stream (executor-independent order)
+            hub = self.telemetry
+            if hub is not None:
+                hub.on_window_barrier(window_end)
             # window edge: every shard has reached the horizon — run the
             # barrier hooks that have come due (boundary-link churn et al.)
             hooks = self._barrier_hooks
@@ -564,9 +569,18 @@ class PartitionedSimulator(Simulator):
         )
 
     def stats(self) -> SimStats:
-        """Aggregated kernel counters across all shards.  ``peak_pending``
-        is the sum of per-shard peaks (an upper bound on the true concurrent
-        peak: shards hit their maxima at different instants)."""
+        """Aggregated kernel counters across all shards, in the same
+        :class:`~repro.simnet.engine.SimStats` shape the single loop
+        returns (``.as_dict()`` keys match field-for-field).
+
+        ``events_processed``, ``timers_scheduled``, ``cancellations`` and
+        ``wheel_rebuilds`` sum exactly across shards.  ``peak_pending`` is
+        per-shard by nature: the merged value is the *sum of per-shard
+        peaks*, an upper bound on the true concurrent peak (shards hit
+        their maxima at different instants).  Use :meth:`partition_stats`
+        for the undistorted per-shard view.  All counters are executor-
+        independent: the round-robin and thread executors run identical
+        per-shard schedules, so ``stats()`` compares equal across them."""
         shard_stats = [shard.stats() for shard in self._shards]
         return SimStats(
             events_processed=sum(s.events_processed for s in shard_stats),

@@ -106,6 +106,9 @@ class TcpStack:
         )
         self.host = host
         self.sim = host.sim
+        # flight-recorder hook (wired by PadicoFramework.enable_telemetry);
+        # None = recording off, one attribute check on the hot paths
+        self.telemetry = None
         self.model = model or TcpModel()
         self._listeners: Dict[int, "TcpListener"] = {}
         self._connections: Dict[int, "TcpConnection"] = {}
@@ -249,6 +252,15 @@ class TcpStack:
         conn.peer_conn_id = client_conn_id
         conn.established = True
         self._connections[conn.conn_id] = conn
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "flow.open",
+                flow=conn.flow_id,
+                src=self.host.name,
+                dst=frame.src.name,
+                port=port,
+                role="server",
+            )
         cost = Cost().charge(self.host.cpu.syscall_overhead, "tcp.accept")
         frame.network.transmit(
             self.host,
@@ -274,6 +286,15 @@ class TcpStack:
             return
         conn.peer_conn_id = frame.meta["server_conn"]
         conn.established = True
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "flow.open",
+                flow=conn.flow_id,
+                src=self.host.name,
+                dst=frame.src.name,
+                port=conn.remote_port,
+                role="client",
+            )
         delivery.cost.charge(self.host.cpu.syscall_overhead, "tcp.connect-complete")
         if done is not None and not done.triggered:
             delivery.complete_into(done, conn)
@@ -347,6 +368,10 @@ class TcpConnection:
         self.local_port = local_port
         self.remote_port = remote_port
         self.conn_id = stack.new_conn_id()
+        # telemetry flow identity: per-host conn_ids are deterministic
+        # across runs, fidelities and partitionings, so this labels the
+        # same logical flow in every variant of a seeded scenario
+        self.flow_id = f"{self.host.name}#{self.conn_id}"
         self.peer_conn_id: Optional[int] = None
         self.established = False
         self.closed = False
@@ -410,6 +435,8 @@ class TcpConnection:
         if type(data) is not bytes:
             data = bytes(data)
         self._sendq.append([memoryview(data), 0, done, len(data)])
+        if self.stack.telemetry is not None:
+            self.stack.telemetry.emit("flow.send", flow=self.flow_id, nbytes=len(data))
         if not self._pumping:
             self._pumping = True
             if self._fluid is not None:
@@ -527,6 +554,14 @@ class TcpConnection:
                 self._sendq.append([memoryview(b""), 0, done, total])
 
         self._update_window(lost_pkts, delivered)
+        if self.stack.telemetry is not None:
+            self.stack.telemetry.emit(
+                "flow.round",
+                flow=self.flow_id,
+                nbytes=attempted,
+                lost=lost_pkts,
+                cwnd=self.cwnd,
+            )
 
         serialization = self.network.serialization_time(attempted) if attempted else 0.0
         if self._sendq:
@@ -544,10 +579,17 @@ class TcpConnection:
             if self._fluid is not None:
                 self._fluid.on_drain()
 
-    @staticmethod
-    def _complete_send(done: "SimEvent", total: int) -> None:
+    def _complete_send(self, done: "SimEvent", total: int) -> None:
+        """Fire a send's completion event at its last byte's arrival.
+
+        The single convergence point of all three data paths (packet round,
+        fluid step, fluid epoch), which is what makes the emitted
+        ``flow.complete`` instants float-identical across fidelities."""
         if not done.triggered:
             done.succeed(total)
+            tele = self.stack.telemetry
+            if tele is not None:
+                tele.emit("flow.complete", flow=self.flow_id, nbytes=total)
 
     def _draw_losses(self, npkts: int) -> int:
         p = self.network.loss_rate
@@ -620,6 +662,14 @@ class TcpConnection:
         if self.closed:
             return
         self.closed = True
+        tele = self.stack.telemetry
+        if tele is not None:
+            tele.emit(
+                "flow.close",
+                flow=self.flow_id,
+                sent=self.bytes_sent,
+                received=self.bytes_received,
+            )
         self._fail_pending()
         if self._close_callback is not None:
             self._close_callback(self)
@@ -682,6 +732,14 @@ class TcpConnection:
         if self.closed:
             return
         self.closed = True
+        tele = self.stack.telemetry
+        if tele is not None:
+            tele.emit(
+                "flow.close",
+                flow=self.flow_id,
+                sent=self.bytes_sent,
+                received=self.bytes_received,
+            )
         if self.established and self.peer_conn_id is not None:
             self.network.transmit(
                 self.host,

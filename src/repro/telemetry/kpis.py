@@ -1,0 +1,309 @@
+"""KPI analysis over a telemetry event stream.
+
+Input is a list of flat event dicts — live from
+:attr:`repro.telemetry.hub.TelemetryHub.events` or re-read from a JSONL
+trace (:func:`repro.telemetry.replay.read_trace`); the two produce
+byte-identical KPI output because every value round-trips exactly through
+JSON.
+
+Determinism rules
+-----------------
+
+* Events are first put in *canonical order* (:func:`canonical_events`):
+  sorted by ``(t, kind, canonical-json-of-fields)`` with the emission
+  bookkeeping (``p``/``s``) excluded.  Identical event *multisets* —
+  e.g. a packet-fidelity run and its hybrid twin, or the same scenario at
+  1 vs N partitions — therefore produce identical float accumulation
+  order, hence bit-identical sums.
+* Percentiles are nearest-rank on sorted values; window bucketing is pure
+  arithmetic.  No randomness, no wall-clock anywhere.
+
+The output is a plain JSON-serializable dict; :func:`canonical_kpi_json`
+is its canonical encoding, and :func:`invariant_view` is the subset that
+is guaranteed identical across fidelities and partitionings (per-flow
+completion instants and bytes, per-link frame/byte/busy totals).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.telemetry.series import MetricSeries, percentile
+
+__all__ = [
+    "canonical_events",
+    "compute_kpis",
+    "invariant_view",
+    "canonical_kpi_json",
+]
+
+#: churn.fault kinds that take a target down / bring it back
+_DOWN_KINDS = {"fail-link", "kill-host"}
+_UP_KINDS = {"recover-link", "revive-host"}
+
+
+def _field_key(ev: Dict[str, Any]) -> str:
+    fields = {k: v for k, v in ev.items() if k not in ("t", "p", "s")}
+    return json.dumps(fields, sort_keys=True, separators=(",", ":"))
+
+
+def canonical_events(events: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """A canonically ordered copy of ``events``.
+
+    The order is a deterministic function of the event *multiset* alone:
+    emission bookkeeping (partition, per-partition sequence) is excluded,
+    so runs that produce the same facts in different emission orders —
+    different partition counts, packet vs hybrid fidelity — canonicalize
+    to the same list.
+    """
+    return sorted(events, key=lambda ev: (ev["t"], ev["k"], _field_key(ev)))
+
+
+def compute_kpis(
+    events: Iterable[Dict[str, Any]],
+    *,
+    curve_window: Optional[float] = None,
+    horizon: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Compute the KPI view of an event stream.
+
+    ``horizon`` (virtual seconds) defaults to the latest time touched by
+    any event; pass it explicitly when comparing runs whose trailing
+    bookkeeping events end at different times.  ``curve_window`` sets the
+    per-link utilization-curve bucket width (default: ``horizon / 20``).
+    """
+    evs = canonical_events(events)
+
+    end = 0.0
+    for ev in evs:
+        t = ev["t"]
+        if t > end:
+            end = t
+        e = ev.get("end")
+        if e is not None and e > end:
+            end = e
+    if horizon is None:
+        horizon = end
+    if curve_window is None:
+        curve_window = horizon / 20.0 if horizon > 0.0 else 1.0
+
+    by_kind: Dict[str, int] = {}
+    flows: Dict[str, Dict[str, Any]] = {}
+    links: Dict[str, Dict[str, Any]] = {}
+    curves: Dict[str, MetricSeries] = {}
+    fault_timelines: Dict[str, List[List[Any]]] = {}
+    migrations: Dict[str, List[float]] = {}
+    vetoes: Dict[str, int] = {}
+    monitor = {"pushes": 0, "link_down": 0, "link_up": 0}
+    fluid = {
+        "activations": 0,
+        "invalidations": 0,
+        "epochs": 0,
+        "epoch_rounds": 0,
+        "rollbacks": 0,
+        "rounds_undone": 0,
+        "packet_rounds": 0,
+    }
+    engine: Dict[int, Dict[str, int]] = {}
+
+    def flow_rec(name: str) -> Dict[str, Any]:
+        rec = flows.get(name)
+        if rec is None:
+            rec = flows[name] = {
+                "opened": None,
+                "closed": None,
+                "first_send": None,
+                "sent_bytes": 0,
+                "completions": [],
+                "bytes": 0,
+                "rounds": 0,
+                "lost_pkts": 0,
+            }
+        return rec
+
+    def link_rec(name: str) -> Dict[str, Any]:
+        rec = links.get(name)
+        if rec is None:
+            rec = links[name] = {
+                "frames": 0,
+                "bytes": 0,
+                "busy": 0.0,
+                "losses": 0,
+                "lost_bytes": 0,
+            }
+        return rec
+
+    for ev in evs:
+        kind = ev["k"]
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+        if kind == "link.tx":
+            rec = link_rec(ev["net"])
+            rec["frames"] += 1
+            rec["bytes"] += ev["nbytes"]
+            begin, tx_end = ev["begin"], ev["end"]
+            rec["busy"] += tx_end - begin
+            series = curves.get(ev["net"])
+            if series is None:
+                series = curves[ev["net"]] = MetricSeries(ev["net"], curve_window)
+            # split the occupancy interval across curve buckets
+            w = curve_window
+            i0, i1 = int(begin // w), int(tx_end // w)
+            for i in range(i0, i1 + 1):
+                lo = begin if begin > i * w else i * w
+                hi = tx_end if tx_end < (i + 1) * w else (i + 1) * w
+                if hi > lo:
+                    series.add(lo, hi - lo)
+        elif kind == "flow.complete":
+            rec = flow_rec(ev["flow"])
+            rec["completions"].append(ev["t"])
+            rec["bytes"] += ev["nbytes"]
+        elif kind == "flow.send":
+            rec = flow_rec(ev["flow"])
+            if rec["first_send"] is None:
+                rec["first_send"] = ev["t"]
+            rec["sent_bytes"] += ev["nbytes"]
+        elif kind == "flow.open":
+            rec = flow_rec(ev["flow"])
+            rec["opened"] = ev["t"]
+            rec["src"] = ev["src"]
+            rec["dst"] = ev["dst"]
+            rec["role"] = ev["role"]
+        elif kind == "flow.close":
+            flow_rec(ev["flow"])["closed"] = ev["t"]
+        elif kind == "flow.round":
+            rec = flow_rec(ev["flow"])
+            rec["rounds"] += 1
+            rec["lost_pkts"] += ev["lost"]
+            fluid["packet_rounds"] += 1
+        elif kind == "link.loss":
+            rec = link_rec(ev["net"])
+            rec["losses"] += 1
+            rec["lost_bytes"] += ev["nbytes"]
+        elif kind == "churn.fault":
+            fault_timelines.setdefault(ev["target"], []).append([ev["t"], ev["fault"]])
+        elif kind == "route.migrate":
+            migrations.setdefault(ev["session"], []).append(ev["t"])
+        elif kind == "route.dwell_veto":
+            vetoes[ev["session"]] = vetoes.get(ev["session"], 0) + 1
+        elif kind == "monitor.push":
+            monitor["pushes"] += 1
+        elif kind == "monitor.link_down":
+            monitor["link_down"] += 1
+        elif kind == "monitor.link_up":
+            monitor["link_up"] += 1
+        elif kind == "fluid.activate":
+            fluid["activations"] += 1
+        elif kind == "fluid.invalidate":
+            fluid["invalidations"] += 1
+        elif kind == "fluid.epoch":
+            fluid["epochs"] += 1
+            fluid["epoch_rounds"] += ev["rounds"]
+        elif kind == "fluid.rollback":
+            fluid["rollbacks"] += 1
+            fluid["rounds_undone"] += ev["undone"]
+        elif kind == "engine.window":
+            cell = engine.setdefault(
+                ev["shard"],
+                {"events": 0, "timers": 0, "cancels": 0, "peak_pending": 0},
+            )
+            cell["events"] += ev["events"]
+            cell["timers"] += ev["timers"]
+            cell["cancels"] += ev["cancels"]
+            if ev["peak_pending"] > cell["peak_pending"]:
+                cell["peak_pending"] = ev["peak_pending"]
+
+    # -- per-flow latency/goodput ---------------------------------------------
+    latencies: List[float] = []
+    goodputs: List[float] = []
+    for rec in flows.values():
+        rec["completions"].sort()
+        if rec["completions"] and rec["first_send"] is not None:
+            latency = rec["completions"][-1] - rec["first_send"]
+            rec["latency"] = latency
+            if latency > 0.0 and rec["bytes"]:
+                rec["goodput"] = rec["bytes"] / latency
+                goodputs.append(rec["goodput"])
+            latencies.append(latency)
+    latencies.sort()
+    goodputs.sort()
+    flow_summary: Dict[str, Any] = {"count": len(flows), "completed": len(latencies)}
+    if latencies:
+        flow_summary["latency_p50"] = percentile(latencies, 0.50)
+        flow_summary["latency_p99"] = percentile(latencies, 0.99)
+    if goodputs:
+        flow_summary["goodput_p50"] = percentile(goodputs, 0.50)
+        flow_summary["goodput_p99"] = percentile(goodputs, 0.99)
+
+    # -- per-link utilization ---------------------------------------------------
+    for name, rec in links.items():
+        rec["utilization"] = rec["busy"] / horizon if horizon > 0.0 else 0.0
+        series = curves.get(name)
+        if series is not None:
+            rec["curve"] = [
+                {"t0": b["t0"], "busy": b["sum"], "util": b["sum"] / curve_window}
+                for b in series.summarize()
+            ]
+
+    # -- availability during churn ---------------------------------------------
+    availability: Dict[str, Any] = {}
+    for target, timeline in fault_timelines.items():
+        down_since: Optional[float] = None
+        down_s = 0.0
+        for t, kind in timeline:
+            if kind in _DOWN_KINDS and down_since is None:
+                down_since = t
+            elif kind in _UP_KINDS and down_since is not None:
+                down_s += t - down_since
+                down_since = None
+        if down_since is not None:
+            down_s += horizon - down_since if horizon > down_since else 0.0
+        availability[target] = {
+            "faults": len(timeline),
+            "down_s": down_s,
+            "availability": 1.0 - down_s / horizon if horizon > 0.0 else 1.0,
+            "timeline": timeline,
+        }
+
+    return {
+        "horizon": horizon,
+        "curve_window": curve_window,
+        "events_total": len(evs),
+        "by_kind": by_kind,
+        "flows": flows,
+        "flow_summary": flow_summary,
+        "links": links,
+        "availability": availability,
+        "migrations": {
+            session: {"count": len(times), "timeline": times}
+            for session, times in migrations.items()
+        },
+        "dwell_vetoes": vetoes,
+        "monitor": monitor,
+        "fluid": fluid,
+        "engine": {str(shard): cell for shard, cell in engine.items()},
+    }
+
+
+def invariant_view(kpis: Dict[str, Any]) -> Dict[str, Any]:
+    """The KPI subset guaranteed identical across ``fidelity="packet"`` vs
+    ``"hybrid"`` and across partition counts for the same seeded scenario:
+    per-flow completion instants/bytes and per-link frame/byte/busy totals.
+    (Monitor push timing, migration schedules and engine counters are
+    legitimately fidelity-/partitioning-dependent and are excluded.)
+    """
+    return {
+        "flows": {
+            flow: {"completions": rec["completions"], "bytes": rec["bytes"]}
+            for flow, rec in kpis["flows"].items()
+        },
+        "links": {
+            net: {"frames": rec["frames"], "bytes": rec["bytes"], "busy": rec["busy"]}
+            for net, rec in kpis["links"].items()
+        },
+    }
+
+
+def canonical_kpi_json(kpis: Dict[str, Any]) -> str:
+    """Canonical JSON encoding of a KPI dict (byte-comparable)."""
+    return json.dumps(kpis, sort_keys=True, separators=(",", ":"))

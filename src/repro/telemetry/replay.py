@@ -1,0 +1,72 @@
+"""Deterministic replay: reconstruct the KPI view from a recorded trace.
+
+A JSONL trace written by :class:`repro.telemetry.hub.TelemetryHub` is a
+complete record of a run's telemetry: reading it back and running the same
+KPI computation produces *byte-identical* output to the live run's,
+because every event value survives the JSON round trip exactly (floats via
+shortest-repr, ints as ints) and the KPI pipeline canonicalizes event
+order before accumulating.  :func:`verify_replay` asserts that equality.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.telemetry.kpis import canonical_kpi_json, compute_kpis
+
+__all__ = ["read_trace", "replay_kpis", "verify_replay"]
+
+
+def read_trace(path: str) -> List[Dict[str, Any]]:
+    """Load a JSONL trace back into a list of event dicts."""
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def replay_kpis(
+    path: str,
+    *,
+    curve_window: Optional[float] = None,
+    horizon: Optional[float] = None,
+) -> Dict[str, Any]:
+    """KPIs recomputed from a recorded trace."""
+    return compute_kpis(read_trace(path), curve_window=curve_window, horizon=horizon)
+
+
+def verify_replay(
+    live_events: Iterable[Dict[str, Any]],
+    path: str,
+    *,
+    curve_window: Optional[float] = None,
+    horizon: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Assert that replaying ``path`` reproduces the live KPI view exactly.
+
+    Returns the replayed KPI dict.  Raises ``AssertionError`` with a
+    field-level diff hint if the canonical KPI JSON differs by even a byte.
+    """
+    live = canonical_kpi_json(
+        compute_kpis(live_events, curve_window=curve_window, horizon=horizon)
+    )
+    replayed_kpis = replay_kpis(path, curve_window=curve_window, horizon=horizon)
+    replayed = canonical_kpi_json(replayed_kpis)
+    if live != replayed:
+        # find the first divergent byte for a useful failure message
+        limit = min(len(live), len(replayed))
+        at = next(
+            (i for i in range(limit) if live[i] != replayed[i]),
+            limit,
+        )
+        lo, hi = max(0, at - 60), at + 60
+        raise AssertionError(
+            "replayed KPI output diverges from the live run at byte "
+            f"{at}:\n  live:     ...{live[lo:hi]}...\n"
+            f"  replayed: ...{replayed[lo:hi]}..."
+        )
+    return replayed_kpis

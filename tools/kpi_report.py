@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Analyse a flight-recorder JSONL trace and print a KPI report.
+
+The trace is a stream of flat telemetry events written by
+:class:`repro.telemetry.TelemetryHub` (``jsonl_path=...``); this tool
+replays it through :func:`repro.telemetry.compute_kpis` — the exact code
+path a live run uses, so the numbers here are byte-identical to what the
+recording process would have computed — and renders the result as a human
+report or, with ``--json``, as the canonical machine-readable KPI document
+CI archives next to the trace.
+
+Usage::
+
+    python tools/kpi_report.py trace.jsonl
+    python tools/kpi_report.py trace.jsonl --json kpis.json
+    python tools/kpi_report.py trace.jsonl --window 0.5 --horizon 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.telemetry import canonical_kpi_json, compute_kpis, read_trace  # noqa: E402
+
+
+def _rate(nbytes: float) -> str:
+    if nbytes >= 1e9:
+        return f"{nbytes / 1e9:.2f} GB/s"
+    if nbytes >= 1e6:
+        return f"{nbytes / 1e6:.2f} MB/s"
+    if nbytes >= 1e3:
+        return f"{nbytes / 1e3:.2f} kB/s"
+    return f"{nbytes:.0f} B/s"
+
+
+def render_text(kpis: dict, out=sys.stdout) -> None:
+    p = lambda *a: print(*a, file=out)  # noqa: E731
+    p(f"horizon: {kpis['horizon']:.6f} s   events: {kpis['events_total']}")
+    p("event kinds:")
+    for kind, count in sorted(kpis["by_kind"].items()):
+        p(f"  {kind:<18} {count}")
+
+    fs = kpis["flow_summary"]
+    p(f"\nflows: {fs['count']} ({fs['completed']} with completions)")
+    if "latency_p50" in fs:
+        p(
+            f"  latency  p50 {fs['latency_p50'] * 1e3:9.3f} ms   "
+            f"p99 {fs['latency_p99'] * 1e3:9.3f} ms"
+        )
+    if "goodput_p50" in fs:
+        p(
+            f"  goodput  p50 {_rate(fs['goodput_p50']):>12}   "
+            f"p99 {_rate(fs['goodput_p99']):>12}"
+        )
+    for flow, rec in sorted(kpis["flows"].items()):
+        done = len(rec["completions"])
+        last = f"last at {rec['completions'][-1]:.6f}s" if done else "no completions"
+        p(f"  {flow:<16} {rec['bytes']:>12} B delivered  {done:>3} sends done  {last}")
+
+    p("\nlinks:")
+    for net, rec in sorted(kpis["links"].items()):
+        p(
+            f"  {net:<16} {rec['frames']:>6} frames  {rec['bytes']:>12} B  "
+            f"util {rec['utilization'] * 100:6.2f}%  losses {rec['losses']}"
+        )
+
+    if kpis["availability"]:
+        p("\navailability (churn targets):")
+        for target, rec in sorted(kpis["availability"].items()):
+            p(
+                f"  {target:<16} {rec['faults']} faults  down {rec['down_s']:.3f}s  "
+                f"availability {rec['availability'] * 100:.2f}%"
+            )
+
+    if kpis["migrations"] or kpis["dwell_vetoes"]:
+        p("\nadaptive routing:")
+        for session, rec in sorted(kpis["migrations"].items()):
+            p(f"  session {session}: {rec['count']} migrations")
+        for session, count in sorted(kpis["dwell_vetoes"].items()):
+            p(f"  session {session}: {count} dwell vetoes")
+
+    mon = kpis["monitor"]
+    if any(mon.values()):
+        p(
+            f"\nmonitoring: {mon['pushes']} pushes, "
+            f"{mon['link_down']} link-down, {mon['link_up']} link-up"
+        )
+
+    fl = kpis["fluid"]
+    if fl["activations"] or fl["packet_rounds"]:
+        p(
+            f"\nfluid fast path: {fl['activations']} activations, "
+            f"{fl['epochs']} epochs ({fl['epoch_rounds']} rounds), "
+            f"{fl['rollbacks']} rollbacks ({fl['rounds_undone']} rounds undone), "
+            f"{fl['packet_rounds']} packet rounds"
+        )
+
+    if kpis["engine"]:
+        p("\nengine (per shard):")
+        for shard, cell in sorted(kpis["engine"].items(), key=lambda kv: int(kv[0])):
+            p(
+                f"  shard {shard}: {cell['events']} events, {cell['timers']} timers, "
+                f"{cell['cancels']} cancels, peak pending {cell['peak_pending']}"
+            )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="JSONL trace written by TelemetryHub")
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="write the canonical KPI JSON to PATH (or stdout with no value) "
+        "instead of the text report",
+    )
+    parser.add_argument(
+        "--window", type=float, default=None, help="utilization-curve bucket width (s)"
+    )
+    parser.add_argument(
+        "--horizon",
+        type=float,
+        default=None,
+        help="analysis horizon (s); defaults to the last event time",
+    )
+    args = parser.parse_args(argv)
+
+    events = read_trace(args.trace)
+    kpis = compute_kpis(events, curve_window=args.window, horizon=args.horizon)
+
+    if args.json is not None:
+        doc = canonical_kpi_json(kpis)
+        if args.json == "-":
+            print(doc)
+        else:
+            Path(args.json).write_text(doc + "\n")
+            print(f"wrote {args.json} ({len(doc)} bytes)", file=sys.stderr)
+    else:
+        render_text(kpis)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
