@@ -92,6 +92,8 @@ SIZES = {
     "small": dict(rows=2, cols=2, hosts_per_cluster=8),  # 32 hosts (CI smoke)
     "medium": dict(rows=5, cols=5, hosts_per_cluster=8),  # 200 hosts
     "large": dict(rows=5, cols=10, hosts_per_cluster=20),  # 1000 hosts
+    # nightly-only (ENGINE_SCALE=huge): 250 clusters x 40 hosts
+    "huge": dict(rows=10, cols=25, hosts_per_cluster=40),  # 10000 hosts
 }
 
 TRANSFER_BYTES = 512 * 1024
@@ -120,6 +122,23 @@ def selected_sizes():
             raise ValueError(f"ENGINE_SCALE={forced!r}; known sizes: {sorted(SIZES)}")
         return [forced]
     return ["medium", "large"]
+
+
+def selected_executor():
+    """``ENGINE_EXECUTOR`` selects the partitioned benchmarks' executor
+    (unset / ``round-robin``, ``thread``, or ``process``); returns
+    ``(executor_arg, kind_suffix)``.  Each executor gates against its own
+    recorded baseline kind (``kernel_partitioned``, ``kernel_process``, …)
+    — the process executor pays wire-serialization costs the in-process
+    executors do not, so their trajectories are tracked separately."""
+    ex = os.environ.get("ENGINE_EXECUTOR", "").strip()
+    if not ex or ex == "round-robin":
+        return None, "partitioned"
+    if ex not in ("thread", "process"):
+        raise ValueError(
+            f"ENGINE_EXECUTOR={ex!r}; known executors: round-robin, thread, process"
+        )
+    return ex, ex
 
 
 # ---------------------------------------------------------------------------
@@ -307,6 +326,7 @@ def run_scenario(size: str, partitions=None, executor=None) -> dict:
         result["partitions"] = fw.sim.partition_count
         result["windows"] = fw.sim.windows_run
         result["mailbox_deliveries"] = fw.sim.mailbox_deliveries
+    fw.shutdown()  # release the process executor's worker pool (no-op otherwise)
     return result
 
 
@@ -317,7 +337,7 @@ def run_scenario(size: str, partitions=None, executor=None) -> dict:
 MIB = 1024 * 1024
 #: per-stream staging volume: one send, epoch-sized so the fluid tier can
 #: collapse hundreds of congestion-window rounds per flow.
-FLUID_TRANSFER_BYTES = {"small": 16 * MIB, "medium": 32 * MIB, "large": 64 * MIB}
+FLUID_TRANSFER_BYTES = {"small": 16 * MIB, "medium": 32 * MIB, "large": 64 * MIB, "huge": 64 * MIB}
 #: staging-phase monitoring cadence (the 2 ms operational cadence of the
 #: chunked scenario would dominate the collapsed event stream).
 FLUID_PROBE_INTERVAL = 0.05
@@ -461,7 +481,7 @@ FORWARD_DELAY = 2e-6
 #: framed consumption granularity (middleware personalities read small
 #: header/body records: GIOP headers, MPI envelopes, adaptive frames).
 KERNEL_PIECE = 2 * 1024
-KERNEL_HORIZON = {"small": 0.4, "medium": 0.8, "large": 1.0}
+KERNEL_HORIZON = {"small": 0.4, "medium": 0.8, "large": 1.0, "huge": 0.6}
 FLAP_RATE = 2.0
 FLAP_DOWN = 0.03
 KERNEL_SEED = 0xBEEF
@@ -690,6 +710,12 @@ def run_kernel_scenario(
     def wan_deliver(part):
         wan_beats[part] += 1
 
+    # the only scenario-level callback that crosses partitions: name it so
+    # the process executor's wire codec can ship ("h", name, args) instead
+    # of pickling the closure (a no-op on every other kernel)
+    if hasattr(sim, "register_wire_handler"):
+        sim.register_wire_handler("kernel.wan-deliver", wan_deliver)
+
     def make_wan_beat(wan, dst_part):
         def beat():
             sim.call_at_partition(dst_part, sim.now + wan.latency, wan_deliver, dst_part)
@@ -714,10 +740,28 @@ def run_kernel_scenario(
 
     sim.every(0.002, _sample)
 
+    # under the process executor the counter cells live in the worker
+    # replicas (each worker writes only its own partition's cell); read
+    # them back through a collector evaluated inside each worker
+    is_process = getattr(getattr(sim, "_executor", None), "is_process", False)
+    if hasattr(sim, "register_collector"):
+        cells = (beats, delivered, suspicions, flaps, bursts, forwards, reads, wan_beats)
+        sim.register_collector(
+            "kernel.counters", lambda p: tuple(c[p] for c in cells) + (peak["pending"],)
+        )
+
     with _gc_paused():
         start = time.perf_counter()
         sim.run(until=horizon)
         wall_s = time.perf_counter() - start
+
+    if is_process:
+        rows = sim.collect("kernel.counters")
+        beats, delivered, suspicions, flaps, bursts, forwards, reads, wan_beats = (
+            [row[i] for row in rows] for i in range(8)
+        )
+        # the depth sampler runs in partition 0, i.e. inside worker 0
+        peak = {"pending": max(row[8] for row in rows)}
 
     counters = {
         "beats": sum(beats),
@@ -746,6 +790,8 @@ def run_kernel_scenario(
         result["windows"] = sim.windows_run
         result["mailbox_deliveries"] = sim.mailbox_deliveries
     result.update(counters)
+    if is_process:
+        sim.shutdown()
     return result
 
 
@@ -988,13 +1034,31 @@ def run_kernel_scenario_partitioned(size: str, partitions: int = 2) -> dict:
     return run_kernel_scenario(size, partitions=partitions)
 
 
+#: acceptance width and floor for the process executor: >= 2.5x wall-clock
+#: over the single loop at 4 partitions on the 1000-host kernel workload.
+PROCESS_PARTITIONS = 4
+PROCESS_SPEEDUP_TARGET = 2.5
+
+
+def run_kernel_scenario_process(size: str) -> dict:
+    """The kernel workload on the process executor at the acceptance
+    partition width; importable by :func:`run_isolated`."""
+    return run_kernel_scenario(size, partitions=PROCESS_PARTITIONS, executor="process")
+
+
 @pytest.mark.parametrize("size", selected_sizes())
 def test_engine_scale_kernel_partitioned(benchmark, once, size):
     """The kernel workload sharded across partitions (2 by default,
-    ``ENGINE_PARTITIONS`` overrides): gated for trace equality with the
-    single loop and against the committed ``kernel_partitioned`` baseline."""
+    ``ENGINE_PARTITIONS`` overrides; ``ENGINE_EXECUTOR`` selects the
+    executor): gated for trace equality with the single loop and against
+    the committed baseline of the matching kind (``kernel_partitioned``,
+    ``kernel_thread`` or ``kernel_process``)."""
     nparts = int(os.environ.get("ENGINE_PARTITIONS", "2"))
-    result = once(benchmark, lambda: run_kernel_scenario(size, partitions=nparts))
+    executor, suffix = selected_executor()
+    def run():
+        return run_kernel_scenario(size, partitions=nparts, executor=executor)
+
+    result = once(benchmark, run)
     benchmark.extra_info.update(result)
 
     assert result["partitions"] == nparts
@@ -1004,25 +1068,24 @@ def test_engine_scale_kernel_partitioned(benchmark, once, size):
     # conservative execution is *trace-equal* to the single loop
     single = run_kernel_scenario(size)
     assert {k: result[k] for k in TRACE_KEYS} == {k: single[k] for k in TRACE_KEYS}
-    check_baselines(
-        "kernel_partitioned", size, result, benchmark,
-        remeasure=lambda: run_kernel_scenario(size, partitions=nparts),
-    )
+    check_baselines(f"kernel_{suffix}", size, result, benchmark, remeasure=run)
 
 
 @pytest.mark.parametrize("size", selected_sizes())
 def test_engine_scale_deployment_partitioned(benchmark, once, size):
     """The full-stack deployment scenario on the partitioned kernel: every
-    stream must deliver every byte through the boundary mailboxes."""
-    result = once(benchmark, lambda: run_scenario(size, partitions=2))
+    stream must deliver every byte through the boundary mailboxes (executor
+    from ``ENGINE_EXECUTOR``, baseline kind suffixed to match)."""
+    executor, suffix = selected_executor()
+    def run():
+        return run_scenario(size, partitions=2, executor=executor)
+
+    result = once(benchmark, run)
     benchmark.extra_info.update(result)
 
     assert result["bytes_delivered"] == result["bytes_expected"]
     assert result["mailbox_deliveries"] > 0
-    check_baselines(
-        "deployment_partitioned", size, result, benchmark,
-        remeasure=lambda: run_scenario(size, partitions=2),
-    )
+    check_baselines(f"deployment_{suffix}", size, result, benchmark, remeasure=run)
 
 
 @pytest.mark.parametrize("nparts", [2, 4])
@@ -1042,3 +1105,46 @@ def test_partitioned_kernel_thread_executor_matches_round_robin():
     round_robin = run_kernel_scenario("small", partitions=2)
     threaded = run_kernel_scenario("small", partitions=2, executor="thread")
     assert {k: threaded[k] for k in TRACE_KEYS} == {k: round_robin[k] for k in TRACE_KEYS}
+
+
+def test_partitioned_kernel_process_executor_matches_round_robin():
+    """The process executor — one forked worker per partition, shard-owned
+    object graphs, wire-serialized boundary mailboxes — must reproduce the
+    round-robin trace exactly."""
+    round_robin = run_kernel_scenario("small", partitions=2)
+    forked = run_kernel_scenario("small", partitions=2, executor="process")
+    assert {k: forked[k] for k in TRACE_KEYS} == {k: round_robin[k] for k in TRACE_KEYS}
+
+
+def test_process_speedup_vs_single_loop():
+    """The tentpole acceptance: >= 2.5x wall-clock speedup at 4 partitions
+    on the 1000-host kernel workload, process executor vs the single loop,
+    both measured live in fresh interpreters on this machine (best of two).
+
+    A parallel speedup needs parallel hardware: on machines with fewer
+    cores than partitions the workers time-slice one core and the ratio
+    measures scheduling overhead, not the kernel — the gate only arms when
+    the shards can actually run concurrently.  Reduced sizes (CI smoke)
+    skip for the same reason the 3x kernel gate relaxes there: the
+    windowed protocol's fixed costs dominate sub-100 ms runs."""
+    cores = os.cpu_count() or 1
+    if cores < PROCESS_PARTITIONS:
+        pytest.skip(
+            f"process-speedup gate needs >= {PROCESS_PARTITIONS} cores; this "
+            f"machine has {cores} (workers would time-slice, not parallelize)"
+        )
+    size = os.environ.get("ENGINE_SCALE", "") or "large"
+    if size not in ("large", "huge"):
+        pytest.skip("the 2.5x floor is defined at the 1000-host tier (ENGINE_SCALE=large)")
+    best = 0.0
+    for _attempt in range(2):
+        single = run_isolated("run_kernel_scenario", size)
+        multi = run_isolated("run_kernel_scenario_process", size)
+        assert multi["events"] == single["events"]  # identical logical trace
+        best = max(best, single["wall_s"] / multi["wall_s"])
+        if best >= PROCESS_SPEEDUP_TARGET:
+            break
+    assert best >= PROCESS_SPEEDUP_TARGET, (
+        f"process executor at {PROCESS_PARTITIONS} partitions is {best:.2f}x "
+        f"the single loop at {size!r}, below the {PROCESS_SPEEDUP_TARGET}x floor"
+    )

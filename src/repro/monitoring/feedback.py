@@ -52,11 +52,26 @@ class LinkWatch:
         self.estimator = LinkEstimator(
             alpha=alpha, window=window, min_samples=min_samples, batch=coalesce
         )
-        self.passive = PassiveLinkProbe(network, self._on_sample)
+        # A passive probe on a *boundary* link observes traffic from both
+        # endpoints' shards (the observer fires in the transmitting shard),
+        # which under parallel executors would mutate estimator state
+        # mid-window from two threads/processes.  Boundary watches therefore
+        # route every sample over the barrier sample bus: shard-local
+        # buffers, drained at the window edge in a deterministic merge, so
+        # estimator updates happen in barrier context only — identical
+        # across the round-robin, thread and process executors.
+        sim = monitor.sim
+        self._bus_key: Optional[str] = None
+        on_sample = self._on_sample
+        if sim.partition_count > 1 and sim.is_boundary(network):
+            self._bus_key = f"linkwatch:{network.name}"
+            sim.register_barrier_channel(self._bus_key, self._apply_batch)
+            on_sample = self._publish_sample
+        self.passive = PassiveLinkProbe(network, on_sample)
         self.active: Optional[ActivePingProbe] = None
         if active:
             self.active = ActivePingProbe(
-                network, self._on_sample, interval=interval, seed=seed
+                network, on_sample, interval=interval, seed=seed
             )
         self.pushed: Optional[MeasuredLink] = None
         self.marked_down = False
@@ -73,6 +88,19 @@ class LinkWatch:
             updated_at=monitor.sim.now,
         )
         self.believed_class = topology.classify_network(network)
+
+    def _publish_sample(self, sample: LinkSample) -> None:
+        self.monitor.sim.publish_at_barrier(self._bus_key, sample)
+
+    def _apply_batch(self, batch) -> None:
+        """Barrier-bus consumer: apply one window's boundary samples.
+
+        ``batch`` arrives as ``(src_partition, publish_index, sample)`` in
+        (partition, index) order; re-sort by observation time first so the
+        estimator consumes samples in virtual-time order regardless of
+        which endpoint's shard observed them."""
+        for _p, _i, sample in sorted(batch, key=lambda e: (e[2].at, e[0], e[1])):
+            self._on_sample(sample)
 
     def _on_sample(self, sample: LinkSample) -> None:
         # update() returns False when the sample was coalesced into a

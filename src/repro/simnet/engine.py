@@ -149,7 +149,21 @@ class SimEvent:
 
     #: ``seq`` is stamped by the simulator when the event triggers (it
     #: orders the ready FIFO against due timers); unset while pending.
-    __slots__ = ("sim", "callbacks", "_value", "_exc", "_triggered", "_processed", "name", "seq")
+    #: ``uid`` is a construction-order identifier assigned only when the
+    #: simulator installs an ``_event_tracker`` (the process-pool executor
+    #: uses it to name events across address spaces); unset otherwise.
+    __slots__ = (
+        "sim",
+        "callbacks",
+        "_value",
+        "_exc",
+        "_triggered",
+        "_processed",
+        "name",
+        "seq",
+        "uid",
+        "__weakref__",
+    )
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
@@ -159,6 +173,8 @@ class SimEvent:
         self._triggered = False
         self._processed = False
         self.name = name
+        if sim._event_tracker is not None:
+            sim._event_tracker(self)
 
     # -- state ------------------------------------------------------------
     @property
@@ -486,6 +502,12 @@ class Simulator:
     #: check, so the disabled state is exactly the pre-telemetry hot path.
     telemetry = None
 
+    #: event-identity hook: ``None`` means events carry no ``uid`` (the
+    #: zero-overhead default).  The process-pool executor installs a tracker
+    #: that stamps every event with a construction-order uid, so replicated
+    #: object graphs in worker processes can name the same logical event.
+    _event_tracker = None
+
     def __new__(cls, *args: Any, **kwargs: Any) -> "Simulator":
         if cls is Simulator:
             partitions = kwargs.get("partitions")
@@ -641,6 +663,48 @@ class Simulator:
         """
         del partition
         return contextlib.nullcontext(self)
+
+    def register_wire_handler(self, name: str, fn: Callable) -> Callable:
+        """Name a callback for the cross-process mailbox wire protocol.
+
+        On a process-partitioned kernel, a closure scheduled across a
+        partition boundary cannot be pickled; registering it (identically in
+        every replica, i.e. at deployment-construction time) lets the wire
+        codec ship ``(name, args)`` instead.  A no-op on the single loop —
+        nothing crosses address spaces — so scenario code can register
+        unconditionally.
+        """
+        del name
+        return fn
+
+    def set_build_spec(self, fn: Callable, *args: Any) -> None:
+        """Declare how process-executor workers rebuild the deployment
+        (``fn(sim, *args)`` run in each worker instead of fork-inheriting
+        the parent graph).  Nothing forks on the single loop: a no-op, so
+        scenario code can declare its build spec unconditionally."""
+        del fn, args
+
+    def register_collector(self, name: str, fn: Callable) -> Callable:
+        """Register a per-partition state collector for :meth:`collect`.
+
+        ``fn(p)`` must return a picklable snapshot of partition ``p``'s
+        share of some scenario state.  On a process-partitioned kernel,
+        :meth:`collect` evaluates the collector *inside the worker process
+        owning each partition*; registering at construction time replicates
+        the closure into every worker.  Here it simply stores the callable.
+        """
+        collectors = getattr(self, "_collectors", None)
+        if collectors is None:
+            collectors = self._collectors = {}
+        collectors[name] = fn
+        return fn
+
+    def collect(self, name: str) -> List[Any]:
+        """Evaluate a registered collector, one entry per partition."""
+        collectors = getattr(self, "_collectors", None)
+        if collectors is None or name not in collectors:
+            raise SimulationError(f"no collector registered under {name!r}")
+        return [collectors[name](0)]
 
     def _push_triggered(self, ev: SimEvent) -> None:
         # fast path: a triggered event is processed at the current timestamp

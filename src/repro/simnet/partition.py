@@ -57,10 +57,18 @@ window on a worker-thread pool with a barrier per window; with mailbox
 merging order-stamped (not arrival-ordered) the execution stays
 deterministic *provided* partitions share no mutable Python state outside
 the boundary mailboxes (per-partition counters, per-partition rngs).  CPU
-parallelism is bounded by the GIL in CPython today; the executor exists for
-GIL-releasing model code and free-threaded builds.  A process pool is
-deliberately not offered: partitions share one object graph (hosts,
-networks, the topology KB) and cannot be pickled across address spaces.
+parallelism is bounded by the GIL in CPython today; the thread executor
+exists for GIL-releasing model code and free-threaded builds.
+
+``executor="process"`` (:mod:`repro.simnet.procexec`) is the multi-core
+configuration: one worker process per partition, each owning a full replica
+of the object graph and *executing* only its own shard.  Cross-shard
+traffic is the boundary-mailbox stream, wire-encoded (frame fields by
+value, hosts/networks by deterministic name) and merged by the parent with
+the same ``(when, sent_at, src_partition, src_seq)`` sort; the window
+barrier is the pipe round-trip.  Barrier hooks, the barrier sample bus and
+telemetry keep their round-robin semantics across address spaces (see the
+executor module for the replication rules).
 
 Determinism contract for scenario authors:
 
@@ -71,12 +79,15 @@ Determinism contract for scenario authors:
   least the window lookahead (the mailbox check enforces it);
 * mutable state shared across partitions (a network's ``up`` flag, the
   topology KB) must only be *written* by its owning partition; reads from
-  other partitions see window-granular state.  Note that *passive* link
-  probes on a boundary network are written from **both** endpoints'
-  partitions (the observer fires in the transmitting shard): under the
-  round-robin executor that stays deterministic (fixed shard order), but
-  under the thread executor it is a data race — keep passively-watched
-  boundary links on the round-robin executor, or watch them actively only.
+  other partitions see window-granular state.  *Passive* link probes on a
+  boundary network observe traffic from **both** endpoints' partitions
+  (the observer fires in the transmitting shard); their samples ride the
+  **barrier sample bus** (:meth:`PartitionedSimulator.publish_at_barrier`):
+  shard-local buffers drained at the window barrier in a deterministic
+  ``(sample time, source partition, publish order)`` merge, so boundary
+  watches are executor-independent — including under the thread executor
+  (no mid-window shared-estimator writes) and the process executor (every
+  replica consumes the identical merged stream).
 """
 
 from __future__ import annotations
@@ -208,17 +219,15 @@ def _make_executor(executor: Any) -> Any:
         return _RoundRobinExecutor()
     if executor in ("thread", "threads", "thread-pool"):
         return _ThreadPoolExecutor()
-    if executor == "process":
-        raise SimulationError(
-            "executor='process' is not supported: partitions share one object "
-            "graph (hosts, networks, topology KB) and cannot cross address "
-            "spaces; use 'thread' or the default 'round-robin'"
-        )
+    if executor in ("process", "processes", "process-pool"):
+        from repro.simnet.procexec import ProcessPoolExecutor
+
+        return ProcessPoolExecutor()
     if hasattr(executor, "run_window"):
         return executor
     raise SimulationError(
-        f"unknown executor {executor!r}; expected 'round-robin', 'thread' or an "
-        "object with a run_window(sim, shards, window_end) method"
+        f"unknown executor {executor!r}; expected 'round-robin', 'thread', "
+        "'process' or an object with a run_window(sim, shards, window_end) method"
     )
 
 
@@ -276,6 +285,35 @@ class PartitionedSimulator(Simulator):
         # the first window edge at/after `when` (see call_at_barrier)
         self._barrier_hooks: List[Tuple] = []
         self._barrier_seq = itertools.count()
+        # barrier sample bus: per-shard publish buffers drained into the
+        # registered channel consumers at every window barrier (boundary
+        # probe samples et al.; see publish_at_barrier)
+        self._bus_buffers: List[List[Tuple[str, Any]]] = [[] for _ in range(partitions)]
+        self._bus_consumers: dict = {}
+        self._bus_last_drain: Optional[List[Tuple]] = None
+        # wire-protocol registries (process executor): named callbacks the
+        # mailbox codec may ship across address spaces, and per-partition
+        # state collectors evaluated inside the owning worker
+        self._wire_handlers: dict = {}
+        self._wire_names: dict = {}
+        self._collectors: dict = {}
+        # process-executor plumbing: the worker index when this replica runs
+        # inside a worker process, mid-run barrier registrations to fan out,
+        # and the construction-order event-uid registry
+        self._worker_index: Optional[int] = None
+        self._pending_hook_ships: List[Tuple] = []
+        self._hook_ship_seq = itertools.count()
+        if getattr(self._executor, "needs_event_uids", False):
+            import weakref
+
+            self._event_uid_counter = itertools.count()
+            self._uid_map = weakref.WeakValueDictionary()
+
+            def _track(ev, _ctr=self._event_uid_counter, _map=self._uid_map):
+                ev.uid = uid = next(_ctr)
+                _map[uid] = ev
+
+            self._event_tracker = _track
 
     # -- shard routing ------------------------------------------------------
     def _enter_shard(self, shard: _PartitionShard) -> None:
@@ -332,6 +370,12 @@ class PartitionedSimulator(Simulator):
     def current_partition(self) -> int:
         return self._active_shard().index
 
+    @property
+    def in_model_context(self) -> bool:
+        """True while executing model code inside a shard window (as opposed
+        to deployment construction or barrier-context code)."""
+        return getattr(self._tls, "shard", None) is not None
+
     # -- boundaries / lookahead --------------------------------------------
     def add_boundary(self, network: Any) -> Any:
         """Register a partition-spanning network; its (current) latency
@@ -368,9 +412,128 @@ class PartitionedSimulator(Simulator):
         ``(when, registration order)``; scheduling calls made by a hook
         route like deployment-construction code (partition 0 unless wrapped
         in :meth:`in_partition`).
+
+        Under the process executor every replica holds an identical copy of
+        the hook heap (registrations at construction time, and from barrier
+        context — hooks, bus consumers — replay identically everywhere).  A
+        registration made by *shard model code* mid-run exists in one worker
+        only; it is intercepted here and fanned out through the parent so
+        all replicas pop the same hooks at the same edges — which requires
+        the callback to be wire-encodable (see
+        :meth:`register_wire_handler`).
         """
+        if self._worker_index is not None and getattr(self._tls, "shard", None) is not None:
+            # worker shard context: ship to the parent for barrier-riding
+            # fan-out instead of mutating only this replica's heap
+            self._pending_hook_ships.append((when, next(self._hook_ship_seq), fn, args))
+            return None
         heapq.heappush(self._barrier_hooks, (when, next(self._barrier_seq), fn, args))
         return None
+
+    # -- barrier sample bus --------------------------------------------------
+    def register_barrier_channel(self, key: str, consumer: Callable) -> None:
+        """Register the consumer for barrier-bus channel ``key``.
+
+        ``consumer(batch)`` is called at each window barrier that drained at
+        least one publication on the channel, with ``batch`` a list of
+        ``(src_partition, publish_index, payload)`` in deterministic merged
+        order.  Registration must happen at construction time (replicated
+        into every process-executor worker); re-registering a key replaces
+        the consumer.
+        """
+        self._bus_consumers[key] = consumer
+
+    def publish_at_barrier(self, key: str, payload: Any) -> None:
+        """Publish ``payload`` on barrier-bus channel ``key``.
+
+        Buffered shard-locally (no locks, no mid-window shared writes) and
+        delivered to the channel's consumer at the next window barrier in
+        every replica.  Under the process executor the payload must be
+        picklable.
+        """
+        self._bus_buffers[self._active_shard().index].append((key, payload))
+
+    def _drain_barrier_bus(self, extra: Optional[List[Tuple]] = None) -> None:
+        """Window barrier: deliver published payloads to channel consumers.
+
+        ``extra`` carries ``(src_partition, publish_index, key, payload)``
+        tuples gathered from worker processes; local buffers contribute in
+        shard order.  Per channel, the batch is ordered by (source
+        partition, publish index) — a pure function of per-shard publish
+        streams, identical across executors.
+        """
+        batches: dict = {}
+        merged: List[Tuple] = []
+        for p, buf in enumerate(self._bus_buffers):
+            if buf:
+                for i, (key, payload) in enumerate(buf):
+                    batches.setdefault(key, []).append((p, i, payload))
+                    merged.append((p, i, key, payload))
+                del buf[:]
+        if extra:
+            for p, i, key, payload in extra:
+                batches.setdefault(key, []).append((p, i, payload))
+                merged.append((p, i, key, payload))
+        # the process executor fans the full merged batch (parent-local
+        # publications + worker-gathered ones) out to every worker replica
+        # next window, so each replica's consumers see the identical stream
+        self._bus_last_drain = merged or None
+        if not batches:
+            return
+        for key in sorted(batches):
+            consumer = self._bus_consumers.get(key)
+            if consumer is not None:
+                batch = batches[key]
+                batch.sort(key=lambda e: (e[0], e[1]))
+                consumer(batch)
+
+    # -- wire registries (process executor) -----------------------------------
+    def register_wire_handler(self, name: str, fn: Callable) -> Callable:
+        """Name ``fn`` for the cross-process mailbox wire protocol.
+
+        Must be called identically in every replica — i.e. at deployment
+        construction time, before ``run()`` — so each worker resolves the
+        name to its own copy of the callback.  Frame deliveries
+        (``Nic.handle_arrival``) are encoded structurally and need no
+        registration; this is for scenario-level closures scheduled across
+        partitions.  Harmless under the round-robin/thread executors.
+        """
+        if not name or not isinstance(name, str):
+            raise SimulationError(f"wire handler name must be a non-empty str, got {name!r}")
+        self._wire_handlers[name] = fn
+        self._wire_names[fn] = name
+        return fn
+
+    def register_collector(self, name: str, fn: Callable) -> Callable:
+        """Register ``fn(p) -> picklable`` as per-partition state collector.
+
+        See :meth:`collect`.  Like wire handlers, collectors must be
+        registered at construction time so process-executor workers hold a
+        replica of the closure (and of the state it closes over).
+        """
+        self._collectors[name] = fn
+        return fn
+
+    def collect(self, name: str) -> List[Any]:
+        """Evaluate collector ``name`` for every partition.
+
+        Returns a list indexed by partition.  Under the process executor,
+        entry ``p`` is computed *inside worker* ``p`` (the replica whose
+        shard actually executed), which is the only way to read scenario
+        state back out of shard-owned object graphs.  Under the round-robin
+        and thread executors the shared graph is evaluated directly, so the
+        result is executor-independent for state the contract keeps
+        partition-local.
+        """
+        fn = self._collectors.get(name)
+        if fn is None:
+            raise SimulationError(f"no collector registered under {name!r}")
+        gather = getattr(self._executor, "collect", None)
+        if gather is not None:
+            gathered = gather(self, name)
+            if gathered is not None:
+                return gathered
+        return [fn(p) for p in range(len(self._shards))]
 
     def effective_lookahead(self) -> float:
         """The window width for the next window: the minimum of the
@@ -458,10 +621,16 @@ class PartitionedSimulator(Simulator):
 
     def _next_when(self) -> Optional[float]:
         best = None
-        for shard in self._shards:
-            t = shard.next_event_time()
-            if t is not None and (best is None or t < best):
-                best = t
+        # the process executor tracks worker-reported next-event times (the
+        # parent's replica shards are frozen construction-time state)
+        hint = getattr(self._executor, "next_event_time", None)
+        if hint is not None:
+            best = hint(self)
+        else:
+            for shard in self._shards:
+                t = shard.next_event_time()
+                if t is not None and (best is None or t < best):
+                    best = t
         if self._barrier_hooks:
             t = self._barrier_hooks[0][0]
             if best is None or t < best:
@@ -477,31 +646,57 @@ class PartitionedSimulator(Simulator):
         elif until is not None:
             target_time = float(until)
 
+        prepare = getattr(self._executor, "on_run_start", None)
+        if prepare is not None:
+            prepare(self)
+        watcher = None
+        if target_event is not None:
+            make_watcher = getattr(self._executor, "make_watcher", None)
+            if make_watcher is not None:
+                watcher = make_watcher(self, target_event)
+
         try:
-            self._run_windows(target_event, target_time, max_time)
+            self._run_windows(target_event, target_time, max_time, watcher)
         finally:
+            finish = getattr(self._executor, "on_run_end", None)
+            if finish is not None:
+                finish(self)
             close = getattr(self._executor, "close", None)
             if close is not None:
                 close()
 
+        if watcher is not None:
+            if watcher.done:
+                ok, value = watcher.outcome()
+                if ok:
+                    return value
+                raise value
+            return None
         if target_event is not None and target_event.triggered:
             if target_event.ok:
                 return target_event.value
             raise target_event.value
         return None
 
+    def _target_done(self, target_event: Optional[SimEvent], watcher: Optional[Any]) -> bool:
+        if watcher is not None:
+            return watcher.done
+        return target_event is not None and target_event._processed
+
     def _run_windows(
         self,
         target_event: Optional[SimEvent],
         target_time: Optional[float],
         max_time: Optional[float],
+        watcher: Optional[Any] = None,
     ) -> None:
+        take_bus = getattr(self._executor, "take_bus", None)
         while not self._p_stopped:
-            if target_event is not None and target_event._processed:
+            if self._target_done(target_event, watcher):
                 break
             nxt = self._next_when()
             if nxt is None:
-                if target_event is not None and not target_event.triggered:
+                if target_event is not None and not self._target_done(target_event, watcher):
                     raise SimulationError(
                         f"simulation ran out of events while waiting for {target_event!r} "
                         "(deadlock: nobody will ever trigger it)"
@@ -540,6 +735,11 @@ class PartitionedSimulator(Simulator):
             for shard in self._shards:
                 if shard._now > self._time:
                     self._time = shard._now
+            # window edge: deliver barrier-bus publications (boundary probe
+            # samples) in the deterministic merged order — before telemetry
+            # drains (consumer emissions commit with this barrier) and
+            # before hooks (samples observed this window predate edge churn)
+            self._drain_barrier_bus(take_bus(self) if take_bus is not None else None)
             # window edge: drain per-shard telemetry buffers into the
             # deterministic merged stream (executor-independent order)
             hub = self.telemetry
@@ -560,13 +760,55 @@ class PartitionedSimulator(Simulator):
         if shard is not None:
             shard.stop()
 
+    def shutdown(self) -> None:
+        """Release executor resources (worker processes/threads).
+
+        Idempotent; a no-op for executors without persistent state.  The
+        process executor's worker pool survives across :meth:`run` calls so
+        multi-phase scenarios reuse it — call this (or let the simulator be
+        garbage-collected) when done."""
+        stop = getattr(self._executor, "shutdown", None)
+        if stop is None:
+            stop = getattr(self._executor, "close", None)
+        if stop is not None:
+            stop()
+
+    def set_build_spec(self, fn: Callable, *args: Any) -> None:
+        """Declare how worker processes rebuild the deployment.
+
+        Delegates to the process executor (see
+        :meth:`~repro.simnet.procexec.ProcessPoolExecutor.set_build_spec`);
+        a no-op on executors that share the parent's object graph."""
+        setter = getattr(self._executor, "set_build_spec", None)
+        if setter is not None:
+            setter(fn, *args)
+
+    def begin_profile(self) -> None:
+        """Arm per-shard profiling (process executor: a ``cProfile`` run
+        inside each worker, covering shard windows only).  A no-op on
+        executors without per-shard profiling support."""
+        start = getattr(self._executor, "begin_profile", None)
+        if start is not None:
+            start()
+
+    def end_profile(self) -> Optional[List[Optional[dict]]]:
+        """Stop per-shard profiling and return one raw ``cProfile`` stats
+        dict per partition (``None`` entries for shards that never ran;
+        ``None`` overall when the executor does not profile)."""
+        stop = getattr(self._executor, "end_profile", None)
+        if stop is None:
+            return None
+        return stop()
+
     # -- introspection -------------------------------------------------------
     def pending_count(self) -> int:
-        return (
-            sum(shard._live for shard in self._shards)
-            + sum(len(box) for box in self._mailboxes)
-            + len(self._barrier_hooks)
-        )
+        live = None
+        worker_live = getattr(self._executor, "pending_live", None)
+        if worker_live is not None:
+            live = worker_live(self)
+        if live is None:
+            live = sum(shard._live for shard in self._shards)
+        return live + sum(len(box) for box in self._mailboxes) + len(self._barrier_hooks)
 
     def stats(self) -> SimStats:
         """Aggregated kernel counters across all shards, in the same
@@ -579,9 +821,10 @@ class PartitionedSimulator(Simulator):
         peaks*, an upper bound on the true concurrent peak (shards hit
         their maxima at different instants).  Use :meth:`partition_stats`
         for the undistorted per-shard view.  All counters are executor-
-        independent: the round-robin and thread executors run identical
-        per-shard schedules, so ``stats()`` compares equal across them."""
-        shard_stats = [shard.stats() for shard in self._shards]
+        independent: every executor runs identical per-shard schedules, so
+        ``stats()`` compares equal across round-robin, thread and process
+        (the latter barrier-samples the counters out of its workers)."""
+        shard_stats = self.partition_stats()
         return SimStats(
             events_processed=sum(s.events_processed for s in shard_stats),
             timers_scheduled=sum(s.timers_scheduled for s in shard_stats),
@@ -591,7 +834,14 @@ class PartitionedSimulator(Simulator):
         )
 
     def partition_stats(self) -> List[SimStats]:
-        """Per-shard counter snapshots, in partition order."""
+        """Per-shard counter snapshots, in partition order.  Under the
+        process executor shard ``p``'s counters come from worker ``p``'s
+        last window report (the parent replica never executes)."""
+        gather = getattr(self._executor, "partition_stats", None)
+        if gather is not None:
+            gathered = gather(self)
+            if gathered is not None:
+                return gathered
         return [shard.stats() for shard in self._shards]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

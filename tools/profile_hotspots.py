@@ -47,9 +47,104 @@ def _run(size: str, workload: str, fidelity: str) -> dict:
     return result
 
 
+class _ShardProfile:
+    """Adapter making a worker-shipped raw ``cProfile`` stats dict loadable
+    by :class:`pstats.Stats` (which wants a profiler-shaped object)."""
+
+    def __init__(self, stats: dict) -> None:
+        self.stats = stats
+
+    def create_stats(self) -> None:
+        pass
+
+
+def _rows(stats: pstats.Stats, top: int) -> list:
+    rows = []
+    for (filename, lineno, funcname), (cc, nc, tt, ct, _callers) in sorted(
+        stats.stats.items(), key=lambda item: item[1][3], reverse=True
+    )[:top]:
+        try:
+            filename = str(Path(filename).resolve().relative_to(REPO))
+        except ValueError:
+            pass
+        rows.append(
+            {
+                "function": funcname,
+                "file": filename,
+                "line": lineno,
+                "ncalls": nc,
+                "primitive_calls": cc,
+                "tottime_s": round(tt, 6),
+                "cumtime_s": round(ct, 6),
+            }
+        )
+    return rows
+
+
+def _print_stats(stats: pstats.Stats, sort: str, top: int) -> None:
+    stats.sort_stats(sort)
+    text = io.StringIO()
+    stats.stream = text
+    stats.print_stats(top)
+    print(text.getvalue())
+
+
+def _per_shard(args) -> int:
+    """Per-worker profiling of the partitioned deployment scenario on the
+    process executor: each forked worker runs ``cProfile`` around its own
+    shard windows, the parent gathers the raw stats over the pipes and
+    renders one hotspot table per partition — the view that shows shard
+    imbalance (one hot partition) where a merged profile would not."""
+    import os
+
+    import test_engine_scale as bench
+
+    os.environ["ENGINE_FIDELITY"] = args.fidelity
+    start = time.perf_counter()
+    fw, _grid, completions = bench.build_scenario(
+        args.size, partitions=args.partitions, executor="process"
+    )
+    fw.sim.begin_profile()
+    all_done = fw.sim.all_of(completions)
+    delivered = fw.sim.run(until=all_done, max_time=bench.MAX_VIRTUAL)
+    fw.sim.run(until=max(bench.CHURN_HORIZON, fw.sim.now), max_time=bench.MAX_VIRTUAL)
+    profiles = fw.sim.end_profile()
+    fw.shutdown()
+    wall = time.perf_counter() - start
+
+    shards = []
+    for p, raw in enumerate(profiles or []):
+        print(f"=== partition {p} (worker process {p}) ===")
+        if not raw:
+            print("no samples (shard never ran)\n")
+            shards.append({"partition": p, "hotspots": []})
+            continue
+        stats = pstats.Stats(_ShardProfile(raw))
+        _print_stats(stats, args.sort, args.top)
+        shards.append({"partition": p, "hotspots": _rows(stats, args.top)})
+
+    if args.json:
+        artifact = {
+            "size": args.size,
+            "workload": "deployment",
+            "fidelity": args.fidelity,
+            "partitions": args.partitions,
+            "executor": "process",
+            "profiled_wall_s": round(wall, 3),
+            "bytes_delivered": sum(delivered),
+            "sort": args.sort,
+            "shards": shards,
+        }
+        Path(args.json).write_text(json.dumps(artifact, indent=1) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--size", default="medium", choices=["small", "medium", "large"])
+    parser.add_argument(
+        "--size", default="medium", choices=["small", "medium", "large", "huge"]
+    )
     parser.add_argument(
         "--workload",
         default="fluid",
@@ -62,7 +157,22 @@ def main(argv=None) -> int:
         "--sort", default="cumulative", choices=["cumulative", "tottime", "ncalls"]
     )
     parser.add_argument("--json", metavar="PATH", help="write a JSON artifact here")
+    parser.add_argument(
+        "--per-shard",
+        action="store_true",
+        help="profile the deployment workload per partition on the process "
+        "executor (one cProfile inside each forked worker)",
+    )
+    parser.add_argument(
+        "--partitions",
+        type=int,
+        default=2,
+        help="partition count for --per-shard (default 2)",
+    )
     args = parser.parse_args(argv)
+
+    if args.per_shard:
+        return _per_shard(args)
 
     profiler = cProfile.Profile()
     start = time.perf_counter()
@@ -72,32 +182,9 @@ def main(argv=None) -> int:
     wall = time.perf_counter() - start
 
     stats = pstats.Stats(profiler)
-    stats.sort_stats(args.sort)
-    text = io.StringIO()
-    stats.stream = text
-    stats.print_stats(args.top)
-    print(text.getvalue())
+    _print_stats(stats, args.sort, args.top)
 
     if args.json:
-        rows = []
-        for (filename, lineno, funcname), (cc, nc, tt, ct, _callers) in sorted(
-            stats.stats.items(), key=lambda item: item[1][3], reverse=True
-        )[: args.top]:
-            try:
-                filename = str(Path(filename).resolve().relative_to(REPO))
-            except ValueError:
-                pass
-            rows.append(
-                {
-                    "function": funcname,
-                    "file": filename,
-                    "line": lineno,
-                    "ncalls": nc,
-                    "primitive_calls": cc,
-                    "tottime_s": round(tt, 6),
-                    "cumtime_s": round(ct, 6),
-                }
-            )
         artifact = {
             "size": args.size,
             "workload": args.workload,
@@ -105,7 +192,7 @@ def main(argv=None) -> int:
             "profiled_wall_s": round(wall, 3),
             "sort": args.sort,
             "result": result,
-            "hotspots": rows,
+            "hotspots": _rows(stats, args.top),
         }
         Path(args.json).write_text(json.dumps(artifact, indent=1) + "\n")
         print(f"wrote {args.json}")
